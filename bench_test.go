@@ -1,0 +1,312 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure
+// (see DESIGN.md §4 for the experiment index). Custom metrics carry the
+// figures' quantities: precision/recall as ratios, telemetry volume in
+// bytes/case. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benches use the reduced 1/360 workload scale so a full pass stays in
+// CI budgets; cmd/vedrbench regenerates the figures at 1/90 or full census.
+package vedrfolnir_test
+
+import (
+	"testing"
+	"time"
+
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/experiments"
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/hostmon"
+	"vedrfolnir/internal/provenance"
+	"vedrfolnir/internal/rdma"
+	"vedrfolnir/internal/scenario"
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/telemetry"
+	"vedrfolnir/internal/topo"
+	"vedrfolnir/internal/waitgraph"
+)
+
+// benchConfig is the reduced-scale experiment configuration.
+func benchConfig() scenario.Config {
+	cfg := scenario.DefaultConfig()
+	cfg.Scale = 1.0 / 360
+	cfg.StepBytes = cfg.ScaledBytes(360e6)
+	cfg.CellSize = 16 << 10
+	cfg.Fabric.PFCPauseThreshold = 64 << 10
+	cfg.Fabric.PFCResumeThreshold = 32 << 10
+	cfg.Fabric.ECNThreshold = 32 << 10
+	return cfg
+}
+
+// benchSystem runs the Fig 9/10 cell for one system: every scenario kind,
+// one seed per iteration, reporting precision and telemetry volume.
+func benchSystem(b *testing.B, sys scenario.SystemKind) {
+	cfg := benchConfig()
+	opts := scenario.DefaultRunOptions(cfg)
+	opts.Monitor.MaxDetectPerStep = 5 // Fig 9 "optimal parameters"
+	var m scenario.Metrics
+	var telem int64
+	cases := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, kind := range experiments.Kinds {
+			cs := scenario.GenerateCase(kind, int64(i%8), cfg)
+			res := scenario.Run(cs, sys, cfg, opts)
+			m.Add(res.Outcome)
+			telem += res.Overhead.TelemetryBytes
+			cases++
+		}
+	}
+	b.ReportMetric(m.Precision(), "precision")
+	b.ReportMetric(m.Recall(), "recall")
+	b.ReportMetric(float64(telem)/float64(cases), "telemetryB/case")
+}
+
+// Fig 9 + Fig 10: one bench per compared system.
+
+func BenchmarkFig9Vedrfolnir(b *testing.B)  { benchSystem(b, scenario.Vedrfolnir) }
+func BenchmarkFig9HawkeyeMaxR(b *testing.B) { benchSystem(b, scenario.HawkeyeMaxR) }
+func BenchmarkFig9HawkeyeMinR(b *testing.B) { benchSystem(b, scenario.HawkeyeMinR) }
+func BenchmarkFig9FullPolling(b *testing.B) { benchSystem(b, scenario.FullPolling) }
+
+// Fig 10 overhead focus: the same runs but reported per anomaly kind for
+// Vedrfolnir (the paper's ~10 KB headline).
+func BenchmarkFig10OverheadVedrfolnir(b *testing.B) {
+	cfg := benchConfig()
+	opts := scenario.DefaultRunOptions(cfg)
+	var telem, bw int64
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := scenario.GenerateCase(scenario.Contention, int64(i%8), cfg)
+		res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+		telem += res.Overhead.TelemetryBytes
+		bw += res.Overhead.Bandwidth()
+		n++
+	}
+	b.ReportMetric(float64(telem)/float64(n), "telemetryB/case")
+	b.ReportMetric(float64(bw)/float64(n), "bandwidthB/case")
+}
+
+// Fig 11: host monitor CPU/memory overhead (testbed substitute). The
+// -benchmem allocation figures are the memory panel; ns/op is the CPU panel.
+func BenchmarkFig11WithMonitor(b *testing.B) {
+	cfg := hostmon.DefaultConfig()
+	cfg.Bytes = 8 << 20
+	cfg.WithMonitor = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		hostmon.MeasureAllGather(cfg)
+	}
+}
+
+func BenchmarkFig11WithoutMonitor(b *testing.B) {
+	cfg := hostmon.DefaultConfig()
+	cfg.Bytes = 8 << 20
+	cfg.WithMonitor = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		hostmon.MeasureAllGather(cfg)
+	}
+}
+
+// Fig 12: the RTT-threshold × detection-count sweep on the most sensitive
+// scenario (PFC backpressure).
+func BenchmarkFig12ParamSweep(b *testing.B) {
+	cfg := benchConfig()
+	var m scenario.Metrics
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, factor := range []float64{1.2, 1.8, 2.4} {
+			for _, count := range []int{1, 3, 5} {
+				opts := scenario.DefaultRunOptions(cfg)
+				opts.Monitor.RTTFactor = factor
+				opts.Monitor.MaxDetectPerStep = count
+				cs := scenario.GenerateCase(scenario.PFCBackpressure, int64(i%8), cfg)
+				res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+				m.Add(res.Outcome)
+			}
+		}
+	}
+	b.ReportMetric(m.Precision(), "precision")
+}
+
+// Fig 13a: fixed vs step-grained RTT threshold ablation.
+func BenchmarkFig13aFixedThreshold(b *testing.B) {
+	cfg := benchConfig()
+	opts := scenario.DefaultRunOptions(cfg)
+	opts.Monitor.FixedRTTThreshold = 40 * time.Microsecond
+	opts.Monitor.MaxDetectPerStep = 3
+	var telem int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := scenario.GenerateCase(scenario.Contention, int64(i%8), cfg)
+		res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+		telem += res.Overhead.TelemetryBytes
+	}
+	b.ReportMetric(float64(telem)/float64(b.N), "telemetryB/case")
+}
+
+// Fig 13b: unrestricted (Hawkeye-like) triggering ablation.
+func BenchmarkFig13bUnrestricted(b *testing.B) {
+	cfg := benchConfig()
+	opts := scenario.DefaultRunOptions(cfg)
+	opts.Monitor.Unrestricted = true
+	var telem int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := scenario.GenerateCase(scenario.Contention, int64(i%8), cfg)
+		res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+		telem += res.Overhead.TelemetryBytes
+	}
+	b.ReportMetric(float64(telem)/float64(b.N), "telemetryB/case")
+}
+
+// Fig 14: the full case study (run + both graph renders).
+func BenchmarkFig14CaseStudy(b *testing.B) {
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		study := experiments.Fig14(cfg)
+		if study.BF2Score <= study.BF1Score {
+			b.Fatalf("case study shape broken: BF2 %.0f <= BF1 %.0f",
+				study.BF2Score, study.BF1Score)
+		}
+	}
+}
+
+// --- Core-library micro-benchmarks (ablation/performance support) ---
+
+// BenchmarkFabricForwarding measures raw simulator throughput: events/sec
+// moving one 4 MB flow across the fat-tree.
+func BenchmarkFabricForwarding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := hostmon.MeasureAllGather(hostmon.Config{
+			Nodes: 4, Bytes: 4 << 20, CellSize: 16 << 10, Seed: int64(i + 1),
+		})
+		b.ReportMetric(float64(m.Events), "events/op")
+	}
+}
+
+// BenchmarkWaitGraphBuild measures waiting-graph construction + critical
+// path on a 64-rank, 63-step synthetic collective.
+func BenchmarkWaitGraphBuild(b *testing.B) {
+	var recs []collective.StepRecord
+	const ranks, steps = 64, 63
+	for h := 0; h < ranks; h++ {
+		for s := 0; s < steps; s++ {
+			start := simtime.Time(s * 1000)
+			recs = append(recs, collective.StepRecord{
+				Host:    topo.NodeID(h),
+				Step:    s,
+				Start:   start,
+				End:     start.Add(900),
+				WaitSrc: topo.NodeID((h + ranks - 1) % ranks),
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := waitgraph.Build(recs)
+		if path, _ := g.CriticalPath(); len(path) == 0 {
+			b.Fatal("no path")
+		}
+	}
+}
+
+// BenchmarkProvenanceRating measures Eq. 1/2 evaluation over a deep PFC
+// chain.
+func BenchmarkProvenanceRating(b *testing.B) {
+	cf := fabric.FlowKey{Src: 0, Dst: 1, SrcPort: 5000, DstPort: 5000, Proto: 17}
+	bf := fabric.FlowKey{Src: 8, Dst: 9, SrcPort: 9000, DstPort: 9001, Proto: 17}
+	var reports []*telemetry.Report
+	const depth = 32
+	for i := 0; i < depth; i++ {
+		p := topo.PortID{Node: topo.NodeID(100 + i), Port: 1}
+		next := topo.PortID{Node: topo.NodeID(101 + i), Port: 1}
+		rep := &telemetry.Report{
+			Flows: []telemetry.FlowRecord{
+				{Switch: p.Node, Port: p.Port, Flow: cf, Pkts: 10, Bytes: 10000,
+					Wait: map[fabric.FlowKey]int64{bf: 5}},
+				{Switch: p.Node, Port: p.Port, Flow: bf, Pkts: 10, Bytes: 10000},
+			},
+			Ports: []telemetry.PortRecord{
+				{Switch: p.Node, Port: p.Port, AvgQueuedBytes: 10000,
+					MeterIn: map[topo.PortID]int64{next: 10000},
+					PFCEvents: []fabric.PFCEvent{
+						{Pause: true, Upstream: p, Downstream: next.Node, CauseEgress: next.Port},
+					}},
+			},
+		}
+		reports = append(reports, rep)
+	}
+	cfs := map[fabric.FlowKey]bool{cf: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := provenance.Build(reports, cfs)
+		if r := g.RateFlowCF(bf, cf); r < 0 {
+			b.Fatal("negative rating")
+		}
+	}
+}
+
+// --- Ablation benches for DESIGN.md's called-out design choices ---
+
+// benchCC measures collective completion time under a congestion controller
+// in the contention scenario (CC ablation: DCQCN vs Swift vs none).
+func benchCC(b *testing.B, cc rdma.CCKind) {
+	cfg := benchConfig()
+	cfg.CC = cc
+	opts := scenario.DefaultRunOptions(cfg)
+	var total time.Duration
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := scenario.GenerateCase(scenario.Contention, int64(i%8), cfg)
+		res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+		total += time.Duration(res.CollectiveTime)
+		n++
+	}
+	b.ReportMetric(float64(total.Microseconds())/float64(n), "collective_us")
+}
+
+func BenchmarkAblationCCDCQCN(b *testing.B) { benchCC(b, rdma.CCDCQCN) }
+func BenchmarkAblationCCSwift(b *testing.B) { benchCC(b, rdma.CCSwift) }
+func BenchmarkAblationCCNone(b *testing.B)  { benchCC(b, rdma.CCNone) }
+
+// BenchmarkAblationAdaptiveOff measures the adaptive opportunity transfer's
+// contribution: same contention cases with the notification mechanism off.
+func BenchmarkAblationAdaptiveOff(b *testing.B) {
+	cfg := benchConfig()
+	opts := scenario.DefaultRunOptions(cfg)
+	opts.Monitor.Adaptive = false
+	var m scenario.Metrics
+	var telem int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := scenario.GenerateCase(scenario.Contention, int64(i%8), cfg)
+		res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+		m.Add(res.Outcome)
+		telem += res.Overhead.TelemetryBytes
+	}
+	b.ReportMetric(m.Precision(), "precision")
+	b.ReportMetric(float64(telem)/float64(b.N), "telemetryB/case")
+}
+
+// BenchmarkExtensionScenarios covers the two §II-B extension anomalies.
+func BenchmarkExtensionScenarios(b *testing.B) {
+	cfg := benchConfig()
+	opts := scenario.DefaultRunOptions(cfg)
+	var m scenario.Metrics
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, kind := range []scenario.AnomalyKind{scenario.Loop, scenario.LoadImbalance} {
+			res := scenario.Run(scenario.GenerateCase(kind, int64(i%5), cfg), scenario.Vedrfolnir, cfg, opts)
+			m.Add(res.Outcome)
+		}
+	}
+	b.ReportMetric(m.Precision(), "precision")
+	b.ReportMetric(m.Recall(), "recall")
+}

@@ -1,0 +1,58 @@
+// Command vedranalyze runs Vedrfolnir's analyzer offline over a diagnosis
+// bundle (step records + telemetry reports + collective-flow census in the
+// wire JSON format), as produced by `vedrsim -dump`.
+//
+// Usage:
+//
+//	vedranalyze -in bundle.json [-json]
+//
+// With -json the diagnosis is emitted as machine-readable JSON; otherwise a
+// human-readable summary prints.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"vedrfolnir/internal/wire"
+)
+
+func main() {
+	in := flag.String("in", "", "input bundle (JSON; - for stdin)")
+	asJSON := flag.Bool("json", false, "emit the diagnosis as JSON")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "vedranalyze: -in required")
+		os.Exit(2)
+	}
+	f := os.Stdin
+	if *in != "-" {
+		var err error
+		f, err = os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vedranalyze:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	bundle, err := wire.ReadBundle(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vedranalyze:", err)
+		os.Exit(1)
+	}
+	diag := bundle.Analyze()
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(wire.FromDiagnosis(diag)); err != nil {
+			fmt.Fprintln(os.Stderr, "vedranalyze:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("inputs: %d step records, %d reports, %d collective flows\n",
+		len(bundle.Records), len(bundle.Reports), len(bundle.CFs))
+	fmt.Print(diag.Summary())
+}

@@ -1,0 +1,71 @@
+// Command vedranalyzerd runs the centralized analyzer of the paper's Fig 3
+// architecture as a long-lived network service: host agents connect over
+// TCP and stream step records, telemetry reports and collective-flow
+// registrations as newline-delimited JSON; on SIGINT/SIGTERM (or after
+// -after) the daemon prints the diagnosis over everything ingested and
+// exits.
+//
+// Usage:
+//
+//	vedranalyzerd [-listen 127.0.0.1:7391] [-after 30s] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vedrfolnir/internal/analyzerd"
+	"vedrfolnir/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7391", "TCP listen address")
+	after := flag.Duration("after", 0, "diagnose and exit after this duration (0 = wait for SIGINT)")
+	asJSON := flag.Bool("json", false, "emit the diagnosis as JSON")
+	flag.Parse()
+
+	srv, err := analyzerd.Serve(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
+		os.Exit(1)
+	}
+	fmt.Println("analyzer listening on", srv.Addr())
+
+	done := make(chan struct{})
+	if *after > 0 {
+		go func() {
+			time.Sleep(*after)
+			close(done)
+		}()
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			close(done)
+		}()
+	}
+	<-done
+
+	recs, reps, cfs := srv.Counts()
+	fmt.Printf("ingested: %d step records, %d reports, %d collective flows\n", recs, reps, cfs)
+	diag := srv.Diagnose()
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(wire.FromDiagnosis(diag)); err != nil {
+			fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(diag.Summary())
+}

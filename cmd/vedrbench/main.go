@@ -1,0 +1,168 @@
+// Command vedrbench regenerates every table and figure of the paper's
+// evaluation section (§IV) and prints the same rows/series the paper plots.
+//
+// Usage:
+//
+//	vedrbench [-fig 9|10|11|12|13|14|ext|all] [-paper] [-scale N]
+//
+// By default a reduced case census runs in seconds; -paper runs the full
+// §IV-A census (60/60/40/60 cases per scenario).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vedrfolnir/internal/experiments"
+	"vedrfolnir/internal/scenario"
+	"vedrfolnir/internal/simtime"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 9, 10, 11, 12, 13, 14, ext or all")
+	paper := flag.Bool("paper", false, "run the full paper case census (60/60/40/60)")
+	scaleDen := flag.Float64("scale", 90, "workload scale denominator: sizes and times are 1/N of the paper's")
+	flag.Parse()
+
+	cfg := scenario.ConfigForScale(*scaleDen)
+
+	counts := experiments.SmallCaseCounts()
+	if *paper {
+		counts = experiments.PaperCaseCounts()
+	}
+
+	run := func(name string, fn func()) {
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		fn()
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	var cells []experiments.Cell
+	if want("9") || want("10") {
+		// One sweep feeds both figures.
+		opts := scenario.DefaultRunOptions(cfg)
+		opts.Monitor.MaxDetectPerStep = 5 // Fig 9 uses "optimal parameters"
+		cells = experiments.Sweep(cfg, counts, experiments.Systems, opts)
+	}
+	if want("9") {
+		run("Fig 9: precision & recall vs baselines", func() { printFig9(cells) })
+	}
+	if want("10") {
+		run("Fig 10: processing & bandwidth overhead", func() { printFig10(cells) })
+	}
+	if want("11") {
+		run("Fig 11: host monitor overhead (testbed substitute)", printFig11)
+	}
+	if want("12") {
+		run("Fig 12: precision & recall over RTT thresholds × detection counts", func() {
+			printFig12(experiments.Fig12(cfg, counts))
+		})
+	}
+	if want("13") {
+		run("Fig 13: ablations of the step-aware mechanism", func() {
+			printFig13(cfg, counts[scenario.Contention])
+		})
+	}
+	if want("14") {
+		run("Fig 14: case study", func() { printFig14(cfg) })
+	}
+	if want("ext") {
+		run("Extensions: remaining §II-B anomalies + slowdown distributions", func() {
+			printExtensions(cfg, counts)
+		})
+	}
+	known := false
+	for _, f := range []string{"9", "10", "11", "12", "13", "14", "ext"} {
+		if want(f) {
+			known = true
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func printExtensions(cfg scenario.Config, counts map[scenario.AnomalyKind]int) {
+	cases := counts[scenario.Contention]
+	if cases == 0 {
+		cases = 6
+	}
+	fmt.Println("-- extension anomalies (vedrfolnir) --")
+	fmt.Printf("%-18s %9s %9s %16s\n", "scenario", "precision", "recall", "telemetry(B)")
+	for _, c := range experiments.ExtensionSweep(cfg, cases) {
+		fmt.Printf("%-18s %9.2f %9.2f %16d\n", c.Kind, c.Precision(), c.Recall(), c.TelemetryBytes)
+	}
+	fmt.Println("-- per-step slowdown distributions --")
+	for _, row := range experiments.Slowdowns(cfg, counts) {
+		fmt.Printf("%-18s %s\n", row.Kind, row.Summary)
+	}
+}
+
+func printFig9(cells []experiments.Cell) {
+	fmt.Printf("%-18s %-14s %9s %9s %6s\n", "scenario", "system", "precision", "recall", "cases")
+	for _, c := range cells {
+		fmt.Printf("%-18s %-14s %9.2f %9.2f %6d\n",
+			c.Kind, c.System, c.Precision(), c.Recall(), c.Cases)
+	}
+}
+
+func printFig10(cells []experiments.Cell) {
+	fmt.Printf("%-18s %-14s %16s %16s\n", "scenario", "system", "telemetry(B)", "bandwidth(B)")
+	for _, c := range cells {
+		fmt.Printf("%-18s %-14s %16d %16d\n", c.Kind, c.System, c.TelemetryBytes, c.BandwidthBytes)
+	}
+}
+
+func printFig11() {
+	rows := experiments.Fig11(3)
+	fmt.Printf("%-18s %12s %14s %12s\n", "run", "cpu", "alloc(B)", "sim-time")
+	for _, r := range rows {
+		fmt.Printf("%-18s %12v %14d %12v\n", r.Label, r.CPU.Round(time.Microsecond), r.AllocBytes, r.SimTime)
+	}
+}
+
+func printFig12(rows []experiments.Fig12Row) {
+	fmt.Printf("%-18s %6s %7s %9s %9s\n", "scenario", "rtt%", "detect", "precision", "recall")
+	for _, r := range rows {
+		fmt.Printf("%-18s %5.0f%% %7d %9.2f %9.2f\n",
+			r.Kind, r.RTTFactor*100, r.DetectCount, r.Metrics.Precision(), r.Metrics.Recall())
+	}
+}
+
+func printFig13(cfg scenario.Config, cases int) {
+	if cases == 0 {
+		cases = 6
+	}
+	base := simtime.Duration(float64(30*time.Microsecond) * cfg.Scale * 90)
+	ths := []simtime.Duration{base, 2 * base, 4 * base, 8 * base}
+	fmt.Println("-- Fig 13a: fixed vs step-grained RTT thresholds (contention, ≤3/step) --")
+	fmt.Printf("%-22s %9s %16s\n", "threshold", "precision", "telemetry(B)")
+	for _, row := range experiments.Fig13a(cfg, cases, ths) {
+		label := "step-grained (ours)"
+		if row.Threshold > 0 {
+			label = row.Threshold.String()
+		}
+		fmt.Printf("%-22s %9.2f %16d\n", label, row.Metrics.Precision(), row.TelemetryBytes)
+	}
+	fmt.Println("-- Fig 13b: detection-count allocation vs unrestricted triggering --")
+	fmt.Printf("%-22s %9s %16s\n", "setting", "precision", "telemetry(B)")
+	for _, row := range experiments.Fig13b(cfg, cases, []int{1, 3, 5}) {
+		fmt.Printf("%-22s %9.2f %16d\n", row.Label, row.Metrics.Precision(), row.TelemetryBytes)
+	}
+}
+
+func printFig14(cfg scenario.Config) {
+	study := experiments.Fig14(cfg)
+	fmt.Println("critical path:", study.CriticalStr)
+	fmt.Printf("BF1 (%v) overall score: %.0f\n", study.BF1, study.BF1Score)
+	fmt.Printf("BF2 (%v) overall score: %.0f\n", study.BF2, study.BF2Score)
+	fmt.Println(strings.TrimSpace(study.Diag.Summary()))
+	fmt.Println("\n(waiting graph and provenance DOT available via cmd/vedrgraph)")
+}

@@ -1,0 +1,69 @@
+package vedrfolnir_test
+
+import (
+	"fmt"
+
+	"vedrfolnir"
+)
+
+// ExampleSession demonstrates the complete diagnosis loop: run a collective,
+// disturb it, and read the analyzer's findings.
+func ExampleSession() {
+	sess, err := vedrfolnir.NewSession(vedrfolnir.Options{
+		Ranks:     4,
+		StepBytes: 1 << 20,
+		CellSize:  16 << 10,
+	})
+	if err != nil {
+		panic(err)
+	}
+	hosts := sess.Hosts()
+	// A bystander host floods participant 1.
+	bg := sess.InjectFlow(hosts[8], hosts[1], 4<<20, 0)
+
+	rep, err := sess.Run()
+	if err != nil {
+		panic(err)
+	}
+	for _, f := range rep.Diagnosis.Findings {
+		if f.Type != vedrfolnir.FlowContention {
+			continue
+		}
+		for _, c := range f.Culprits {
+			if c == bg {
+				fmt.Println("culprit identified")
+				return
+			}
+		}
+	}
+	// Output: culprit identified
+}
+
+// ExampleSession_pfcStorm shows PFC storm localization: the faulty port is
+// traced through the PFC spreading path.
+func ExampleSession_pfcStorm() {
+	sess, err := vedrfolnir.NewSession(vedrfolnir.Options{
+		Ranks:     4,
+		StepBytes: 1 << 20,
+		CellSize:  16 << 10,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Storm the first edge switch's host-facing ingress mid-run
+	// (switch order: 4 cores, then per pod 2 aggs + 2 edges).
+	edge := sess.Switches()[6]
+	sess.InjectPFCStorm(edge, 0, 50_000 /* 50µs */, 400_000 /* 400µs */)
+
+	rep, err := sess.Run()
+	if err != nil {
+		panic(err)
+	}
+	for _, f := range rep.Diagnosis.Findings {
+		if f.Type == vedrfolnir.PFCStorm && f.RootPort.Node == edge {
+			fmt.Println("storm traced to the injecting switch")
+			return
+		}
+	}
+	// Output: storm traced to the injecting switch
+}

@@ -1,0 +1,3 @@
+module vedrfolnir
+
+go 1.22

@@ -1,0 +1,228 @@
+// Package analyzerd implements the centralized analyzer of the paper's
+// architecture (Fig 3) as a network service: host-side monitors connect
+// over TCP and stream newline-delimited JSON messages — step records as
+// collective steps complete, telemetry reports as detections fire, and the
+// collective-flow census — and the analyzer aggregates them and produces
+// diagnoses on demand.
+//
+// In the simulator the monitors and analyzer share a process, but this
+// service is how a real deployment wires them: one analyzerd per cluster,
+// one client per host agent.
+package analyzerd
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/diagnose"
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/telemetry"
+	"vedrfolnir/internal/waitgraph"
+	"vedrfolnir/internal/wire"
+)
+
+// Message is one line of the monitor→analyzer protocol. Exactly one payload
+// field is set, selected by Type.
+type Message struct {
+	Type   string           `json:"type"` // "step" | "report" | "cf"
+	Step   *wire.StepRecord `json:"step,omitempty"`
+	Report *wire.Report     `json:"report,omitempty"`
+	CF     *wire.Flow       `json:"cf,omitempty"`
+}
+
+// Protocol message types.
+const (
+	TypeStep   = "step"
+	TypeReport = "report"
+	TypeCF     = "cf"
+)
+
+// Server accepts monitor connections and aggregates their submissions.
+type Server struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	records []collective.StepRecord
+	reports []*telemetry.Report
+	cfs     map[fabric.FlowKey]bool
+	// stepIndex maps a collective flow to its (host, step), learned from
+	// the step records themselves.
+	stepIndex map[fabric.FlowKey]waitgraph.StepRef
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// Serve starts the analyzer on addr ("127.0.0.1:0" for an ephemeral port).
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("analyzerd: %w", err)
+	}
+	s := &Server{
+		ln:        ln,
+		cfs:       make(map[fabric.FlowKey]bool),
+		stepIndex: make(map[fabric.FlowKey]waitgraph.StepRef),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for in-flight connections to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		var msg Message
+		if err := json.Unmarshal(sc.Bytes(), &msg); err != nil {
+			fmt.Fprintf(conn, `{"error":%q}`+"\n", err.Error())
+			return
+		}
+		if err := s.ingest(&msg); err != nil {
+			fmt.Fprintf(conn, `{"error":%q}`+"\n", err.Error())
+			return
+		}
+	}
+}
+
+func (s *Server) ingest(msg *Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch msg.Type {
+	case TypeStep:
+		if msg.Step == nil {
+			return errors.New("step message without payload")
+		}
+		rec := msg.Step.Record()
+		s.records = append(s.records, rec)
+		s.stepIndex[rec.Flow] = waitgraph.StepRef{Host: rec.Host, Step: rec.Step}
+	case TypeReport:
+		if msg.Report == nil {
+			return errors.New("report message without payload")
+		}
+		s.reports = append(s.reports, msg.Report.Telemetry())
+	case TypeCF:
+		if msg.CF == nil {
+			return errors.New("cf message without payload")
+		}
+		s.cfs[msg.CF.Key()] = true
+	default:
+		return fmt.Errorf("unknown message type %q", msg.Type)
+	}
+	return nil
+}
+
+// Counts returns how many records/reports/collective flows have been
+// ingested.
+func (s *Server) Counts() (records, reports, cfs int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records), len(s.reports), len(s.cfs)
+}
+
+// Diagnose runs the analyzer over everything ingested so far.
+func (s *Server) Diagnose() *diagnose.Diagnosis {
+	s.mu.Lock()
+	records := make([]collective.StepRecord, len(s.records))
+	copy(records, s.records)
+	reports := make([]*telemetry.Report, len(s.reports))
+	copy(reports, s.reports)
+	cfs := make(map[fabric.FlowKey]bool, len(s.cfs))
+	for k := range s.cfs {
+		cfs[k] = true
+	}
+	index := make(map[fabric.FlowKey]waitgraph.StepRef, len(s.stepIndex))
+	for k, v := range s.stepIndex {
+		index[k] = v
+	}
+	s.mu.Unlock()
+
+	return diagnose.Analyze(diagnose.Input{
+		Records: records,
+		Reports: reports,
+		CFs:     cfs,
+		StepOf: func(f fabric.FlowKey) (waitgraph.StepRef, bool) {
+			ref, ok := index[f]
+			return ref, ok
+		},
+	})
+}
+
+// Client is a host agent's connection to the analyzer.
+type Client struct {
+	conn net.Conn
+	w    *bufio.Writer
+	enc  *json.Encoder
+}
+
+// Dial connects to an analyzer.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("analyzerd: %w", err)
+	}
+	w := bufio.NewWriter(conn)
+	return &Client{conn: conn, w: w, enc: json.NewEncoder(w)}, nil
+}
+
+// SendStep submits a completed step record.
+func (c *Client) SendStep(rec collective.StepRecord) error {
+	dto := wire.FromStepRecord(rec)
+	return c.enc.Encode(Message{Type: TypeStep, Step: &dto})
+}
+
+// SendReport submits a telemetry report.
+func (c *Client) SendReport(rep *telemetry.Report) error {
+	dto := wire.FromReport(rep)
+	return c.enc.Encode(Message{Type: TypeReport, Report: &dto})
+}
+
+// SendCF registers one collective flow (monitors announce their schedule's
+// 5-tuples before the collective starts).
+func (c *Client) SendCF(flow fabric.FlowKey) error {
+	dto := wire.FromFlow(flow)
+	return c.enc.Encode(Message{Type: TypeCF, CF: &dto})
+}
+
+// Close flushes and closes the connection.
+func (c *Client) Close() error {
+	if err := c.w.Flush(); err != nil {
+		c.conn.Close()
+		return err
+	}
+	return c.conn.Close()
+}

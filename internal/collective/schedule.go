@@ -1,0 +1,262 @@
+// Package collective implements the collective-communication layer: the
+// Ring and Halving-and-Doubling algorithms for AllGather, ReduceScatter and
+// AllReduce, decomposed into per-flow steps exactly as Vedrfolnir's
+// algorithm decomposition prescribes (§III-B), plus the runner that executes
+// the decomposed schedules over RDMA hosts while honouring the waiting
+// relationships between flows.
+package collective
+
+import (
+	"fmt"
+
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/topo"
+)
+
+// Op is the collective operation.
+type Op uint8
+
+// Supported operations.
+const (
+	AllGather Op = iota
+	ReduceScatter
+	AllReduce
+)
+
+func (o Op) String() string {
+	switch o {
+	case AllGather:
+		return "allgather"
+	case ReduceScatter:
+		return "reducescatter"
+	case AllReduce:
+		return "allreduce"
+	case Broadcast:
+		return "broadcast"
+	case AllToAll:
+		return "alltoall"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Algorithm selects the communication schedule.
+type Algorithm uint8
+
+// Supported algorithms (Fig 1 of the paper).
+const (
+	Ring Algorithm = iota
+	HalvingDoubling
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Ring:
+		return "ring"
+	case HalvingDoubling:
+		return "halving-doubling"
+	default:
+		return fmt.Sprintf("alg(%d)", uint8(a))
+	}
+}
+
+// Step is one entry of a host's decomposed send plan. Dst is the SSQ entry
+// (where this host sends during the step); WaitSrc/WaitStep form the
+// matching RSQ entry — the specific flow step whose data must be received
+// before this send may start (§III-C1). WaitSrc is topo.None when the step
+// has no data dependency. For lockstep algorithms (Ring, HD) WaitStep is
+// always Index-1; tree-shaped algorithms (Broadcast) wait on other indices.
+type Step struct {
+	Index    int
+	Dst      topo.NodeID
+	Bytes    int64
+	Chunk    string
+	WaitSrc  topo.NodeID
+	WaitStep int
+}
+
+// Schedule is the complete decomposition for the flow originating at one
+// host: its SSQ/RSQ in step order.
+type Schedule struct {
+	Host  topo.NodeID
+	Rank  int
+	N     int
+	Base  uint16 // port base; distinguishes concurrent collectives
+	Steps []Step
+}
+
+// FlowKey returns the 5-tuple used by step s of this schedule. Each step is
+// a distinct flow on the wire (the chunk or the destination changes), which
+// is precisely the paper's definition of a flow "going through a step".
+func (s *Schedule) FlowKey(step int) fabric.FlowKey {
+	st := s.Steps[step]
+	return fabric.FlowKey{
+		Src:     s.Host,
+		Dst:     st.Dst,
+		SrcPort: s.Base + uint16(step),
+		DstPort: s.Base + uint16(step),
+		Proto:   17,
+	}
+}
+
+// Spec describes one collective to decompose.
+type Spec struct {
+	Op    Op
+	Alg   Algorithm
+	Ranks []topo.NodeID // hosts in rank order
+	Bytes int64         // total data per rank (paper: 360 MB)
+	Base  uint16        // port base (use distinct bases per collective)
+}
+
+// Decompose produces the per-host schedules for spec. This is the
+// "pre-executed algorithmic decomposition" the monitor performs before the
+// collective runs (§III-A); the steps are predefined, not inferred.
+func Decompose(spec Spec) ([]*Schedule, error) {
+	n := len(spec.Ranks)
+	if n < 2 {
+		return nil, fmt.Errorf("collective: need >= 2 ranks, got %d", n)
+	}
+	if spec.Bytes <= 0 {
+		return nil, fmt.Errorf("collective: non-positive byte count %d", spec.Bytes)
+	}
+	base := spec.Base
+	if base == 0 {
+		base = 5000
+	}
+	// Tree-shaped and dependency-free operations select their own
+	// schedule regardless of the Ring/HD choice.
+	switch spec.Op {
+	case Broadcast:
+		return broadcastSchedules(spec.Ranks, spec.Bytes, base)
+	case AllToAll:
+		return allToAllSchedules(spec.Ranks, spec.Bytes, base)
+	}
+	switch spec.Alg {
+	case Ring:
+		return ringSchedules(spec.Op, spec.Ranks, spec.Bytes, base)
+	case HalvingDoubling:
+		if n&(n-1) != 0 {
+			return nil, fmt.Errorf("collective: halving-doubling needs power-of-2 ranks, got %d", n)
+		}
+		return hdSchedules(spec.Op, spec.Ranks, spec.Bytes, base)
+	default:
+		return nil, fmt.Errorf("collective: unknown algorithm %v", spec.Alg)
+	}
+}
+
+// ringSchedules builds the Ring decomposition of Fig 1a / Fig 4: in every
+// step rank i sends one chunk to rank i+1 and, from step 1 on, waits for
+// the chunk arriving from rank i-1.
+func ringSchedules(op Op, ranks []topo.NodeID, bytes int64, base uint16) ([]*Schedule, error) {
+	n := len(ranks)
+	chunk := bytes / int64(n)
+	if chunk == 0 {
+		chunk = 1
+	}
+	phases := 0
+	switch op {
+	case AllGather, ReduceScatter:
+		phases = n - 1
+	case AllReduce:
+		phases = 2 * (n - 1) // reduce-scatter then all-gather
+	default:
+		return nil, fmt.Errorf("collective: unknown op %v", op)
+	}
+	var out []*Schedule
+	for i, host := range ranks {
+		sch := &Schedule{Host: host, Rank: i, N: n, Base: base}
+		right := ranks[(i+1)%n]
+		left := ranks[(i-1+n)%n]
+		for s := 0; s < phases; s++ {
+			// Chunk index moving out of rank i at step s. For the
+			// reduce-scatter direction chunks walk backwards from i;
+			// the all-gather direction continues the same rotation.
+			ci := ((i-s)%n + n) % n
+			label := fmt.Sprintf("C%d", ci)
+			if op == AllReduce && s >= n-1 {
+				ci = ((i-s+1)%n + n) % n
+				label = fmt.Sprintf("R%d", ci) // reduced chunk
+			} else if op == AllReduce {
+				label = fmt.Sprintf("P%d", ci) // partial sum
+			}
+			st := Step{Index: s, Dst: right, Bytes: chunk, Chunk: label, WaitSrc: topo.None}
+			if s > 0 {
+				st.WaitSrc = left
+				st.WaitStep = s - 1
+			}
+			sch.Steps = append(sch.Steps, st)
+		}
+		out = append(out, sch)
+	}
+	return out, nil
+}
+
+// hdSchedules builds the Halving-and-Doubling decomposition of Fig 1b. The
+// flow's destination changes between steps — the other way a flow "goes
+// through a step". AllGather/AllReduce use recursive doubling distances; the
+// reduce-scatter phase halves message sizes, the all-gather phase doubles.
+func hdSchedules(op Op, ranks []topo.NodeID, bytes int64, base uint16) ([]*Schedule, error) {
+	n := len(ranks)
+	log2 := 0
+	for 1<<log2 < n {
+		log2++
+	}
+	type phase struct {
+		dist  int
+		bytes int64
+		label string
+	}
+	var phases []phase
+	switch op {
+	case ReduceScatter:
+		// Recursive halving: distance n/2, n/4, ..., 1; size halves.
+		sz := bytes / 2
+		for d := n / 2; d >= 1; d /= 2 {
+			phases = append(phases, phase{dist: d, bytes: sz, label: "H"})
+			sz /= 2
+		}
+	case AllGather:
+		// Recursive doubling: distance 1, 2, ..., n/2; size doubles.
+		sz := bytes / int64(n)
+		for d := 1; d < n; d *= 2 {
+			phases = append(phases, phase{dist: d, bytes: sz, label: "D"})
+			sz *= 2
+		}
+	case AllReduce:
+		sz := bytes / 2
+		for d := n / 2; d >= 1; d /= 2 {
+			phases = append(phases, phase{dist: d, bytes: sz, label: "H"})
+			sz /= 2
+		}
+		sz = bytes / int64(n)
+		for d := 1; d < n; d *= 2 {
+			phases = append(phases, phase{dist: d, bytes: sz, label: "D"})
+			sz *= 2
+		}
+	default:
+		return nil, fmt.Errorf("collective: unknown op %v", op)
+	}
+	var out []*Schedule
+	for i, host := range ranks {
+		sch := &Schedule{Host: host, Rank: i, N: n, Base: base}
+		prevPartner := topo.None
+		for s, ph := range phases {
+			partner := ranks[i^ph.dist]
+			if ph.bytes <= 0 {
+				return nil, fmt.Errorf("collective: data too small to halve across %d ranks", n)
+			}
+			st := Step{
+				Index:    s,
+				Dst:      partner,
+				Bytes:    ph.bytes,
+				Chunk:    fmt.Sprintf("%s%d", ph.label, s),
+				WaitSrc:  prevPartner,
+				WaitStep: s - 1,
+			}
+			sch.Steps = append(sch.Steps, st)
+			prevPartner = partner
+		}
+		out = append(out, sch)
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package collective
+
+import (
+	"fmt"
+	"math/bits"
+
+	"vedrfolnir/internal/topo"
+)
+
+// Additional operations beyond the paper's evaluated set, demonstrating the
+// §V extensibility claim: the decomposition applies to "nearly all
+// collective algorithms" because synchronization is expressible as
+// (WaitSrc, WaitStep) pairs.
+const (
+	// Broadcast distributes rank 0's data to every rank over a binomial
+	// tree. Unlike Ring/HD, hosts have different step counts and wait on
+	// arbitrary step indices of their parent — the tree shape.
+	Broadcast Op = iota + 100
+	// AllToAll sends a distinct chunk from every rank to every other rank
+	// (linear shift pattern: no data dependencies, destination changes
+	// every step).
+	AllToAll
+)
+
+// BinomialTree is the broadcast algorithm.
+const BinomialTree Algorithm = 100
+
+// broadcastSchedules decomposes a binomial-tree broadcast. Rank r > 0
+// receives the data at round msb(r) from parent r with its top bit cleared,
+// then forwards at rounds msb(r)+1 … ⌈log2 N⌉−1 to r + 2^round (when in
+// range). Rank 0 sends from round 0.
+func broadcastSchedules(ranks []topo.NodeID, bytes int64, base uint16) ([]*Schedule, error) {
+	n := len(ranks)
+	rounds := bits.Len(uint(n - 1)) // ⌈log2 N⌉
+	firstRound := func(r int) int {
+		if r == 0 {
+			return 0
+		}
+		return bits.Len(uint(r)) // msb(r)+1
+	}
+	var out []*Schedule
+	for r, host := range ranks {
+		sch := &Schedule{Host: host, Rank: r, N: n, Base: base}
+		for round := firstRound(r); round < rounds; round++ {
+			peer := r + (1 << round)
+			if peer >= n {
+				continue
+			}
+			st := Step{
+				Index:   len(sch.Steps),
+				Dst:     ranks[peer],
+				Bytes:   bytes,
+				Chunk:   "C0",
+				WaitSrc: topo.None,
+			}
+			// Only the first send waits on the inbound data; later
+			// sends are gated by the previous send implicitly.
+			if r != 0 && len(sch.Steps) == 0 {
+				parent := r &^ (1 << (bits.Len(uint(r)) - 1))
+				recvRound := bits.Len(uint(r)) - 1
+				st.WaitSrc = ranks[parent]
+				st.WaitStep = recvRound - firstRound(parent)
+			}
+			sch.Steps = append(sch.Steps, st)
+		}
+		out = append(out, sch)
+	}
+	return out, nil
+}
+
+// allToAllSchedules decomposes a linear-shift all-to-all: at step s rank i
+// sends the chunk destined for rank (i+s+1) mod N directly to it. There are
+// no data dependencies; only the per-host send order serializes steps.
+func allToAllSchedules(ranks []topo.NodeID, bytes int64, base uint16) ([]*Schedule, error) {
+	n := len(ranks)
+	chunk := bytes / int64(n)
+	if chunk == 0 {
+		chunk = 1
+	}
+	var out []*Schedule
+	for i, host := range ranks {
+		sch := &Schedule{Host: host, Rank: i, N: n, Base: base}
+		for s := 0; s < n-1; s++ {
+			dst := (i + s + 1) % n
+			sch.Steps = append(sch.Steps, Step{
+				Index:   s,
+				Dst:     ranks[dst],
+				Bytes:   chunk,
+				Chunk:   fmt.Sprintf("A%d.%d", i, dst),
+				WaitSrc: topo.None,
+			})
+		}
+		out = append(out, sch)
+	}
+	return out, nil
+}

@@ -1,0 +1,501 @@
+// Package diagnose is Vedrfolnir's analyzer (§III-D): it combines the
+// waiting graph (performance bottleneck, critical flows) with per-step
+// network provenance graphs (root causes, contributors) and answers the
+// paper's three diagnostic questions — where are the bottlenecks, what is
+// the network root cause, and how much does each contending flow matter.
+// Anomaly types are matched by signature (§III-D2) and are extensible; the
+// built-in set covers the four evaluated scenarios plus the loop and PFC
+// deadlock signatures discussed in §II-B/§V.
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/provenance"
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/telemetry"
+	"vedrfolnir/internal/topo"
+	"vedrfolnir/internal/waitgraph"
+)
+
+// AnomalyType classifies a finding.
+type AnomalyType uint8
+
+// Anomaly types, matching §II-B.
+const (
+	FlowContention AnomalyType = iota
+	Incast
+	PFCBackpressure
+	PFCStorm
+	ForwardingLoop
+	PFCDeadlock
+)
+
+func (t AnomalyType) String() string {
+	switch t {
+	case FlowContention:
+		return "flow-contention"
+	case Incast:
+		return "incast"
+	case PFCBackpressure:
+		return "pfc-backpressure"
+	case PFCStorm:
+		return "pfc-storm"
+	case ForwardingLoop:
+		return "forwarding-loop"
+	case PFCDeadlock:
+		return "pfc-deadlock"
+	default:
+		return fmt.Sprintf("anomaly(%d)", uint8(t))
+	}
+}
+
+// Finding is one diagnosed anomaly.
+type Finding struct {
+	Type AnomalyType
+	// Port is where the anomaly manifests (contention port, loop switch
+	// port, or the first paused port on a PFC chain).
+	Port topo.PortID
+	// RootPort is the traced root-cause location for PFC anomalies — the
+	// congested/injecting port at the end of the spreading path.
+	RootPort topo.PortID
+	// Chain is the traced PFC spreading path (upstream → root).
+	Chain []topo.PortID
+	// Culprits are the non-collective flows implicated, ranked by their
+	// contribution to the affected collective flows.
+	Culprits []fabric.FlowKey
+	// Affected are the collective flows impacted.
+	Affected []fabric.FlowKey
+	// Injected marks a storm-signature root (pause without congestion).
+	Injected bool
+}
+
+// FlowRating is the Eq. 3 overall contribution of one flow.
+type FlowRating struct {
+	Flow  fabric.FlowKey
+	Score float64
+}
+
+// Diagnosis is the analyzer's structured result.
+type Diagnosis struct {
+	Findings []Finding
+	// CriticalPath is the bottleneck step chain from the waiting graph.
+	CriticalPath []waitgraph.StepRef
+	// CriticalFlows are the 5-tuples of the steps on the critical path.
+	CriticalFlows []fabric.FlowKey
+	// Ratings are Eq. 3 scores for every contending flow, highest first.
+	Ratings []FlowRating
+	// PerCF holds Eq. 2 scores per (contender, collective flow) pair.
+	PerCF map[fabric.FlowKey]map[fabric.FlowKey]float64
+	// Graph is the aggregate provenance graph used for the findings.
+	Graph *provenance.Graph
+	// WaitGraph is the built waiting graph.
+	WaitGraph *waitgraph.Graph
+}
+
+// Input bundles everything the analyzer consumes.
+type Input struct {
+	// Records are the host monitors' step reports.
+	Records []collective.StepRecord
+	// Reports are the retained telemetry reports.
+	Reports []*telemetry.Report
+	// CFs marks the collective flows (every step's 5-tuple).
+	CFs map[fabric.FlowKey]bool
+	// StepOf maps a collective flow to its (host, step); nil disables
+	// per-step provenance graphs (everything lands in one graph).
+	StepOf func(fabric.FlowKey) (waitgraph.StepRef, bool)
+	// Expected returns a step's expected execution time for the Eq. 3
+	// weights. When nil, the minimum observed execution time of the same
+	// step index across hosts is used (the unimpeded hosts' time).
+	Expected func(waitgraph.StepRef) simtime.Duration
+	// MinCulpritScore suppresses contenders whose Eq. 2 score against
+	// every affected CF is at or below this value (filters ACK-scale
+	// noise). Zero keeps everything with a positive score.
+	MinCulpritScore float64
+	// IncastFanIn is the minimum number of same-destination culprits at
+	// one port to classify the contention as incast (default 3).
+	IncastFanIn int
+}
+
+// Analyze runs the full §III-D pipeline.
+func Analyze(in Input) *Diagnosis {
+	d := &Diagnosis{PerCF: map[fabric.FlowKey]map[fabric.FlowKey]float64{}}
+
+	// 1. Waiting graph → bottleneck and critical flows.
+	d.WaitGraph = waitgraph.Build(in.Records)
+	path, _ := d.WaitGraph.CriticalPath()
+	d.CriticalPath = path
+	for _, ref := range path {
+		if rec, ok := d.WaitGraph.Record(ref); ok {
+			d.CriticalFlows = append(d.CriticalFlows, rec.Flow)
+		}
+	}
+
+	// 2. Aggregate provenance graph → signature findings.
+	d.Graph = provenance.Build(in.Reports, in.CFs)
+	d.Findings = findAnomalies(d.Graph, in)
+
+	// 3. Contributor rating (Eqs. 2 and 3).
+	d.rate(in)
+	return d
+}
+
+// findAnomalies applies the signature set of §III-D2 to the provenance
+// graph.
+func findAnomalies(g *provenance.Graph, in Input) []Finding {
+	var out []Finding
+	fanIn := in.IncastFanIn
+	if fanIn <= 0 {
+		fanIn = 3
+	}
+
+	// Flow contention / incast: ∃p with e(f_i,p) ∧ e(cf,p), f_i ≠ cf.
+	for _, p := range g.Ports() {
+		var cfs, others []fabric.FlowKey
+		for _, f := range g.FlowsAt(p) {
+			if !g.HasFlowPortEdge(f, p) {
+				continue
+			}
+			if g.IsCF(f) {
+				cfs = append(cfs, f)
+			} else {
+				others = append(others, f)
+			}
+		}
+		if len(cfs) == 0 || len(others) == 0 {
+			continue
+		}
+		f := Finding{Type: FlowContention, Port: p, Culprits: others, Affected: cfs}
+		// Incast refinement: several culprits converging on one target.
+		if len(others) >= fanIn {
+			dst := others[0].Dst
+			same := true
+			for _, o := range others[1:] {
+				if o.Dst != dst {
+					same = false
+					break
+				}
+			}
+			if same {
+				f.Type = Incast
+			}
+		}
+		out = append(out, f)
+	}
+
+	// PFC backpressure / storm: ∃p: e(cf,p) ∧ ∃p_j: e(p,p_j); follow the
+	// spreading path to the root. A collective flow "waits at" p when it
+	// queued there, or when p is its own source NIC held by a pause (a
+	// storm on a host uplink leaves no switch telemetry at p).
+	cfSources := map[topo.NodeID]bool{}
+	for _, cf := range g.CFs() {
+		cfSources[cf.Src] = true
+	}
+	seenRoot := map[topo.PortID]bool{}
+	for _, p := range g.PFCUpstreams() {
+		hasCF := cfSources[p.Node]
+		if !hasCF {
+			for _, f := range g.FlowsAt(p) {
+				if g.IsCF(f) && g.HasFlowPortEdge(f, p) {
+					hasCF = true
+					break
+				}
+			}
+		}
+		if !hasCF || len(g.PFCOut(p)) == 0 {
+			continue
+		}
+		chain, root := tracePFC(g, p)
+		if seenRoot[root] {
+			continue
+		}
+		seenRoot[root] = true
+		f := Finding{
+			Type:     PFCBackpressure,
+			Port:     p,
+			RootPort: root,
+			Chain:    chain,
+			Injected: g.InjectedCause(root),
+		}
+		if f.Injected {
+			f.Type = PFCStorm
+		}
+		for _, cf := range g.CFs() {
+			if g.HasFlowPortEdge(cf, p) {
+				f.Affected = append(f.Affected, cf)
+			}
+		}
+		// Flows feeding the root port are the candidate culprits.
+		for _, fl := range g.FlowsAt(root) {
+			if !g.IsCF(fl) {
+				f.Culprits = append(f.Culprits, fl)
+			}
+		}
+		out = append(out, f)
+	}
+
+	// PFC deadlock: a cycle in the port-wait graph.
+	if cyc := findPFCCycle(g); len(cyc) > 0 {
+		out = append(out, Finding{Type: PFCDeadlock, Port: cyc[0], Chain: cyc})
+	}
+
+	// Forwarding loop: TTL drops at a switch.
+	loops := map[topo.NodeID]int64{}
+	for _, rep := range in.Reports {
+		for sw, n := range rep.TTLDrops {
+			loops[sw] += n
+		}
+	}
+	var loopSwitches []topo.NodeID
+	for sw := range loops {
+		loopSwitches = append(loopSwitches, sw)
+	}
+	sort.Slice(loopSwitches, func(i, j int) bool { return loopSwitches[i] < loopSwitches[j] })
+	for _, sw := range loopSwitches {
+		out = append(out, Finding{Type: ForwardingLoop, Port: topo.PortID{Node: sw, Port: -1}})
+	}
+	return out
+}
+
+// tracePFC follows e(p, p_j) edges to the end of the spreading path,
+// choosing the heaviest-weighted branch at forks. It returns the visited
+// chain (excluding p) and the root.
+func tracePFC(g *provenance.Graph, p topo.PortID) (chain []topo.PortID, root topo.PortID) {
+	cur := p
+	visited := map[topo.PortID]bool{cur: true}
+	for {
+		outs := g.PFCOut(cur)
+		var next topo.PortID
+		best := -1.0
+		found := false
+		for _, pj := range outs {
+			if visited[pj] {
+				continue
+			}
+			if w := g.WPortPort(cur, pj); w > best {
+				best, next, found = w, pj, true
+			}
+		}
+		if !found {
+			return chain, cur
+		}
+		visited[next] = true
+		chain = append(chain, next)
+		cur = next
+	}
+}
+
+// findPFCCycle returns one cycle of the e(p_i, p_j) relation, if any.
+func findPFCCycle(g *provenance.Graph) []topo.PortID {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[topo.PortID]int{}
+	var stack []topo.PortID
+	var cycle []topo.PortID
+	var dfs func(p topo.PortID) bool
+	dfs = func(p topo.PortID) bool {
+		color[p] = gray
+		stack = append(stack, p)
+		for _, q := range g.PFCOut(p) {
+			switch color[q] {
+			case gray:
+				// Extract the cycle from the stack.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == q {
+						break
+					}
+				}
+				return true
+			case white:
+				if dfs(q) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[p] = black
+		return false
+	}
+	for _, p := range g.Ports() {
+		if color[p] == white && dfs(p) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// rate computes Eq. 2 per (contender, cf) on per-step graphs and folds them
+// into the Eq. 3 overall score, weighting each critical step by its share
+// of the total slowdown.
+func (d *Diagnosis) rate(in Input) {
+	// Group reports by the step that triggered them; steps without their
+	// own reports fall back to the full report set (the aggregate graph
+	// still witnesses the anomaly even when another host's monitor
+	// collected it).
+	byStep := map[waitgraph.StepRef][]*telemetry.Report{}
+	for _, rep := range in.Reports {
+		if in.StepOf != nil {
+			if ref, ok := in.StepOf(rep.TriggeredBy); ok {
+				byStep[ref] = append(byStep[ref], rep)
+			}
+		}
+	}
+	global := in.Reports
+
+	expected := in.Expected
+	if expected == nil {
+		expected = minExecExpectation(in.Records)
+	}
+
+	// Slowdown weights over the critical path.
+	type stepCtx struct {
+		ref   waitgraph.StepRef
+		cf    fabric.FlowKey
+		slow  simtime.Duration
+		graph *provenance.Graph
+	}
+	var steps []stepCtx
+	var totalSlow simtime.Duration
+	for _, ref := range d.CriticalPath {
+		rec, ok := d.WaitGraph.Record(ref)
+		if !ok {
+			continue
+		}
+		slow := rec.End.Sub(rec.Start) - expected(ref)
+		if slow <= 0 {
+			continue
+		}
+		reps := byStep[ref]
+		if len(reps) == 0 {
+			reps = global
+		}
+		if len(reps) == 0 {
+			continue
+		}
+		steps = append(steps, stepCtx{
+			ref:   ref,
+			cf:    rec.Flow,
+			slow:  slow,
+			graph: provenance.Build(reps, in.CFs),
+		})
+		totalSlow += slow
+	}
+	if totalSlow == 0 {
+		return
+	}
+
+	scores := map[fabric.FlowKey]float64{}
+	for _, sc := range steps {
+		w := float64(sc.slow) / float64(totalSlow)
+		for _, fa := range sc.graph.Contenders() {
+			r := sc.graph.RateFlowCF(fa, sc.cf)
+			if r <= in.MinCulpritScore {
+				continue
+			}
+			scores[fa] += r * w
+			inner := d.PerCF[fa]
+			if inner == nil {
+				inner = map[fabric.FlowKey]float64{}
+				d.PerCF[fa] = inner
+			}
+			inner[sc.cf] += r
+		}
+	}
+	for f, s := range scores {
+		d.Ratings = append(d.Ratings, FlowRating{Flow: f, Score: s})
+	}
+	sort.Slice(d.Ratings, func(i, j int) bool {
+		if d.Ratings[i].Score != d.Ratings[j].Score {
+			return d.Ratings[i].Score > d.Ratings[j].Score
+		}
+		return d.Ratings[i].Flow.String() < d.Ratings[j].Flow.String()
+	})
+}
+
+// minExecExpectation builds the default expected-time oracle: the minimum
+// execution time observed for each step index across hosts.
+func minExecExpectation(records []collective.StepRecord) func(waitgraph.StepRef) simtime.Duration {
+	minByStep := map[int]simtime.Duration{}
+	for _, rec := range records {
+		d := rec.End.Sub(rec.Start)
+		if cur, ok := minByStep[rec.Step]; !ok || d < cur {
+			minByStep[rec.Step] = d
+		}
+	}
+	return func(ref waitgraph.StepRef) simtime.Duration { return minByStep[ref.Step] }
+}
+
+// Culprits returns the union of culprit flows over all findings,
+// deterministically ordered.
+func (d *Diagnosis) Culprits() []fabric.FlowKey {
+	seen := map[fabric.FlowKey]bool{}
+	var out []fabric.FlowKey
+	for _, f := range d.Findings {
+		for _, c := range f.Culprits {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// RootPorts returns the traced PFC root-cause ports.
+func (d *Diagnosis) RootPorts() []topo.PortID {
+	var out []topo.PortID
+	seen := map[topo.PortID]bool{}
+	for _, f := range d.Findings {
+		if f.Type != PFCBackpressure && f.Type != PFCStorm {
+			continue
+		}
+		if !seen[f.RootPort] {
+			seen[f.RootPort] = true
+			out = append(out, f.RootPort)
+		}
+	}
+	return out
+}
+
+// HasType reports whether any finding has the given type.
+func (d *Diagnosis) HasType(t AnomalyType) bool {
+	for _, f := range d.Findings {
+		if f.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary renders the structured diagnostic result.
+func (d *Diagnosis) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path (%d steps):", len(d.CriticalPath))
+	for _, ref := range d.CriticalPath {
+		fmt.Fprintf(&b, " F%dS%d", ref.Host, ref.Step)
+	}
+	b.WriteString("\n")
+	for _, f := range d.Findings {
+		fmt.Fprintf(&b, "%s at %v", f.Type, f.Port)
+		if f.Type == PFCBackpressure || f.Type == PFCStorm {
+			fmt.Fprintf(&b, " root=%v chain=%v", f.RootPort, f.Chain)
+		}
+		if len(f.Culprits) > 0 {
+			fmt.Fprintf(&b, " culprits=%v", f.Culprits)
+		}
+		b.WriteString("\n")
+	}
+	for _, r := range d.Ratings {
+		fmt.Fprintf(&b, "rating %v = %.0f\n", r.Flow, r.Score)
+	}
+	return b.String()
+}

@@ -1,0 +1,389 @@
+package diagnose
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/telemetry"
+	"vedrfolnir/internal/topo"
+	"vedrfolnir/internal/waitgraph"
+)
+
+var (
+	cf0 = fabric.FlowKey{Src: 0, Dst: 1, SrcPort: 5000, DstPort: 5000, Proto: 17}
+	cf1 = fabric.FlowKey{Src: 0, Dst: 1, SrcPort: 5001, DstPort: 5001, Proto: 17}
+	bf  = fabric.FlowKey{Src: 8, Dst: 9, SrcPort: 9000, DstPort: 9001, Proto: 17}
+	bf2 = fabric.FlowKey{Src: 8, Dst: 9, SrcPort: 9100, DstPort: 9101, Proto: 17}
+	bf3 = fabric.FlowKey{Src: 7, Dst: 9, SrcPort: 9200, DstPort: 9201, Proto: 17}
+	pA  = topo.PortID{Node: 20, Port: 1}
+	pB  = topo.PortID{Node: 21, Port: 2}
+)
+
+func usT(us int64) simtime.Time { return simtime.Time(us * int64(time.Microsecond)) }
+
+func records() []collective.StepRecord {
+	// Two hosts, two steps; host 0 step 1 is slow (bound by nothing —
+	// its own previous step), making it the critical chain.
+	return []collective.StepRecord{
+		{Host: 0, Step: 0, Flow: cf0, Start: 0, End: usT(10), WaitSrc: topo.None},
+		{Host: 1, Step: 0, Flow: fabric.FlowKey{Src: 1, Dst: 0, SrcPort: 5000, DstPort: 5000, Proto: 17},
+			Start: 0, End: usT(10), WaitSrc: topo.None},
+		{Host: 0, Step: 1, Flow: cf1, Start: usT(10), End: usT(100), WaitSrc: 1},
+		{Host: 1, Step: 1, Flow: fabric.FlowKey{Src: 1, Dst: 0, SrcPort: 5001, DstPort: 5001, Proto: 17},
+			Start: usT(10), End: usT(20), WaitSrc: 0},
+	}
+}
+
+func contentionReport(trigger fabric.FlowKey) *telemetry.Report {
+	return &telemetry.Report{
+		TriggeredBy: trigger,
+		Flows: []telemetry.FlowRecord{
+			{Switch: pA.Node, Port: pA.Port, Flow: cf1, Pkts: 50, Bytes: 50000,
+				Wait: map[fabric.FlowKey]int64{bf: 200}},
+			{Switch: pA.Node, Port: pA.Port, Flow: bf, Pkts: 50, Bytes: 50000,
+				Wait: map[fabric.FlowKey]int64{cf1: 30}},
+		},
+		Ports: []telemetry.PortRecord{
+			{Switch: pA.Node, Port: pA.Port, AvgQueuedBytes: 40000},
+		},
+	}
+}
+
+func cfSet() map[fabric.FlowKey]bool {
+	return map[fabric.FlowKey]bool{cf0: true, cf1: true}
+}
+
+func stepOf(f fabric.FlowKey) (waitgraph.StepRef, bool) {
+	switch f {
+	case cf0:
+		return waitgraph.StepRef{Host: 0, Step: 0}, true
+	case cf1:
+		return waitgraph.StepRef{Host: 0, Step: 1}, true
+	}
+	return waitgraph.StepRef{}, false
+}
+
+func TestContentionSignature(t *testing.T) {
+	d := Analyze(Input{
+		Records: records(),
+		Reports: []*telemetry.Report{contentionReport(cf1)},
+		CFs:     cfSet(),
+		StepOf:  stepOf,
+	})
+	if !d.HasType(FlowContention) {
+		t.Fatalf("contention not found: %+v", d.Findings)
+	}
+	cs := d.Culprits()
+	if len(cs) != 1 || cs[0] != bf {
+		t.Fatalf("culprits = %v, want [bf]", cs)
+	}
+	var finding Finding
+	for _, f := range d.Findings {
+		if f.Type == FlowContention {
+			finding = f
+		}
+	}
+	if finding.Port != pA {
+		t.Fatalf("contention port = %v, want %v", finding.Port, pA)
+	}
+	if len(finding.Affected) != 1 || finding.Affected[0] != cf1 {
+		t.Fatalf("affected = %v", finding.Affected)
+	}
+}
+
+func TestRatingsWeightedBySlowdown(t *testing.T) {
+	d := Analyze(Input{
+		Records: records(),
+		Reports: []*telemetry.Report{contentionReport(cf1)},
+		CFs:     cfSet(),
+		StepOf:  stepOf,
+	})
+	if len(d.Ratings) == 0 {
+		t.Fatalf("no ratings computed")
+	}
+	if d.Ratings[0].Flow != bf {
+		t.Fatalf("top contributor = %v, want bf", d.Ratings[0].Flow)
+	}
+	if d.Ratings[0].Score <= 0 {
+		t.Fatalf("score = %v", d.Ratings[0].Score)
+	}
+	if d.PerCF[bf][cf1] <= 0 {
+		t.Fatalf("per-CF score missing: %+v", d.PerCF)
+	}
+}
+
+func TestIncastClassification(t *testing.T) {
+	rep := &telemetry.Report{
+		TriggeredBy: cf1,
+		Flows: []telemetry.FlowRecord{
+			{Switch: pA.Node, Port: pA.Port, Flow: cf1, Pkts: 10, Bytes: 10000,
+				Wait: map[fabric.FlowKey]int64{bf: 5, bf2: 5, bf3: 5}},
+			{Switch: pA.Node, Port: pA.Port, Flow: bf, Pkts: 10, Bytes: 10000,
+				Wait: map[fabric.FlowKey]int64{cf1: 2}},
+			{Switch: pA.Node, Port: pA.Port, Flow: bf2, Pkts: 10, Bytes: 10000,
+				Wait: map[fabric.FlowKey]int64{cf1: 2}},
+			{Switch: pA.Node, Port: pA.Port, Flow: bf3, Pkts: 10, Bytes: 10000,
+				Wait: map[fabric.FlowKey]int64{cf1: 2}},
+		},
+		Ports: []telemetry.PortRecord{{Switch: pA.Node, Port: pA.Port, AvgQueuedBytes: 40000}},
+	}
+	d := Analyze(Input{Records: records(), Reports: []*telemetry.Report{rep}, CFs: cfSet(), StepOf: stepOf})
+	if !d.HasType(Incast) {
+		t.Fatalf("incast not classified: %+v", d.Findings)
+	}
+	if got := len(d.Culprits()); got != 3 {
+		t.Fatalf("culprits = %d, want 3", got)
+	}
+}
+
+func pfcReport(injected bool) *telemetry.Report {
+	// cf1 waits at pA; pA was paused by downstream congested egress pB,
+	// fed entirely by bf.
+	return &telemetry.Report{
+		TriggeredBy: cf1,
+		Flows: []telemetry.FlowRecord{
+			{Switch: pA.Node, Port: pA.Port, Flow: cf1, Pkts: 20, Bytes: 20000,
+				Wait: map[fabric.FlowKey]int64{bf: 10}},
+			{Switch: pB.Node, Port: pB.Port, Flow: bf, Pkts: 30, Bytes: 30000},
+		},
+		Ports: []telemetry.PortRecord{
+			{Switch: pA.Node, Port: pA.Port, AvgQueuedBytes: 20000, Paused: true},
+			{Switch: pB.Node, Port: pB.Port, AvgQueuedBytes: 50000,
+				MeterIn: map[topo.PortID]int64{pA: 30000},
+				PFCEvents: []fabric.PFCEvent{
+					{Pause: true, Upstream: pA, Downstream: pB.Node, CauseEgress: pB.Port, Injected: injected},
+				}},
+		},
+	}
+}
+
+func TestPFCBackpressureTrace(t *testing.T) {
+	d := Analyze(Input{Records: records(), Reports: []*telemetry.Report{pfcReport(false)}, CFs: cfSet(), StepOf: stepOf})
+	if !d.HasType(PFCBackpressure) {
+		t.Fatalf("backpressure not found: %+v", d.Findings)
+	}
+	roots := d.RootPorts()
+	if len(roots) != 1 || roots[0] != pB {
+		t.Fatalf("roots = %v, want [pB]", roots)
+	}
+	var f Finding
+	for _, x := range d.Findings {
+		if x.Type == PFCBackpressure {
+			f = x
+		}
+	}
+	if len(f.Chain) != 1 || f.Chain[0] != pB {
+		t.Fatalf("chain = %v", f.Chain)
+	}
+	if len(f.Culprits) != 1 || f.Culprits[0] != bf {
+		t.Fatalf("culprits at root = %v", f.Culprits)
+	}
+}
+
+func TestPFCStormClassification(t *testing.T) {
+	d := Analyze(Input{Records: records(), Reports: []*telemetry.Report{pfcReport(true)}, CFs: cfSet(), StepOf: stepOf})
+	if !d.HasType(PFCStorm) {
+		t.Fatalf("storm not classified: %+v", d.Findings)
+	}
+	if d.HasType(PFCBackpressure) {
+		t.Fatalf("storm double-reported as backpressure")
+	}
+}
+
+func TestDeadlockCycle(t *testing.T) {
+	rep := &telemetry.Report{
+		Flows: []telemetry.FlowRecord{
+			{Switch: pA.Node, Port: pA.Port, Flow: cf1, Pkts: 1, Bytes: 1000,
+				Wait: map[fabric.FlowKey]int64{bf: 1}},
+		},
+		Ports: []telemetry.PortRecord{
+			{Switch: pA.Node, Port: pA.Port, Paused: true, AvgQueuedBytes: 1000,
+				MeterIn:   map[topo.PortID]int64{pB: 1000},
+				PFCEvents: []fabric.PFCEvent{{Pause: true, Upstream: pB, Downstream: pA.Node, CauseEgress: pA.Port}}},
+			{Switch: pB.Node, Port: pB.Port, Paused: true, AvgQueuedBytes: 1000,
+				MeterIn:   map[topo.PortID]int64{pA: 1000},
+				PFCEvents: []fabric.PFCEvent{{Pause: true, Upstream: pA, Downstream: pB.Node, CauseEgress: pB.Port}}},
+		},
+	}
+	d := Analyze(Input{Records: records(), Reports: []*telemetry.Report{rep}, CFs: cfSet(), StepOf: stepOf})
+	if !d.HasType(PFCDeadlock) {
+		t.Fatalf("deadlock not found: %+v", d.Findings)
+	}
+}
+
+func TestLoopSignature(t *testing.T) {
+	rep := contentionReport(cf1)
+	rep.TTLDrops = map[topo.NodeID]int64{33: 5}
+	d := Analyze(Input{Records: records(), Reports: []*telemetry.Report{rep}, CFs: cfSet(), StepOf: stepOf})
+	if !d.HasType(ForwardingLoop) {
+		t.Fatalf("loop not found")
+	}
+	for _, f := range d.Findings {
+		if f.Type == ForwardingLoop && f.Port.Node != 33 {
+			t.Fatalf("loop switch = %v, want 33", f.Port.Node)
+		}
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	d := Analyze(Input{
+		Records: records(),
+		Reports: []*telemetry.Report{contentionReport(cf1)},
+		CFs:     cfSet(),
+		StepOf:  stepOf,
+	})
+	s := d.Summary()
+	if !strings.Contains(s, "critical path") || !strings.Contains(s, "flow-contention") {
+		t.Fatalf("summary missing sections:\n%s", s)
+	}
+	if !strings.Contains(s, "rating") {
+		t.Fatalf("summary missing ratings:\n%s", s)
+	}
+}
+
+func TestNoAnomalyCleanDiagnosis(t *testing.T) {
+	d := Analyze(Input{Records: records(), CFs: cfSet(), StepOf: stepOf})
+	if len(d.Findings) != 0 {
+		t.Fatalf("clean input produced findings: %+v", d.Findings)
+	}
+	if len(d.Ratings) != 0 {
+		t.Fatalf("clean input produced ratings")
+	}
+	if len(d.CriticalPath) == 0 {
+		t.Fatalf("critical path always exists")
+	}
+}
+
+func TestMinCulpritScoreFilter(t *testing.T) {
+	d := Analyze(Input{
+		Records:         records(),
+		Reports:         []*telemetry.Report{contentionReport(cf1)},
+		CFs:             cfSet(),
+		StepOf:          stepOf,
+		MinCulpritScore: 1e12, // absurd bar: everything suppressed
+	})
+	if len(d.Ratings) != 0 {
+		t.Fatalf("filter did not suppress ratings: %+v", d.Ratings)
+	}
+}
+
+func TestTracePFCPicksHeaviestBranch(t *testing.T) {
+	// pA was paused by two different downstream cause ports; the trace
+	// must follow the one carrying more of pA's traffic.
+	pHeavy := topo.PortID{Node: 40, Port: 1}
+	pLight := topo.PortID{Node: 41, Port: 1}
+	rep := &telemetry.Report{
+		TriggeredBy: cf1,
+		Flows: []telemetry.FlowRecord{
+			{Switch: pA.Node, Port: pA.Port, Flow: cf1, Pkts: 10, Bytes: 10000,
+				Wait: map[fabric.FlowKey]int64{bf: 4}},
+		},
+		Ports: []telemetry.PortRecord{
+			{Switch: pA.Node, Port: pA.Port, AvgQueuedBytes: 10000, Paused: true},
+			{Switch: pHeavy.Node, Port: pHeavy.Port, AvgQueuedBytes: 9000,
+				MeterIn: map[topo.PortID]int64{pA: 9000, {Node: 50, Port: 0}: 1000},
+				PFCEvents: []fabric.PFCEvent{
+					{Pause: true, Upstream: pA, Downstream: pHeavy.Node, CauseEgress: pHeavy.Port},
+				}},
+			{Switch: pLight.Node, Port: pLight.Port, AvgQueuedBytes: 1000,
+				MeterIn: map[topo.PortID]int64{pA: 100, {Node: 51, Port: 0}: 9900},
+				PFCEvents: []fabric.PFCEvent{
+					{Pause: true, Upstream: pA, Downstream: pLight.Node, CauseEgress: pLight.Port},
+				}},
+		},
+	}
+	d := Analyze(Input{Records: records(), Reports: []*telemetry.Report{rep}, CFs: cfSet(), StepOf: stepOf})
+	roots := d.RootPorts()
+	if len(roots) == 0 {
+		t.Fatal("no PFC root traced")
+	}
+	if roots[0] != pHeavy {
+		t.Fatalf("trace followed %v, want the heavy branch %v", roots[0], pHeavy)
+	}
+}
+
+func TestEq3WeightsAcrossTwoCriticalSteps(t *testing.T) {
+	// Two critical steps with slowdowns 30µs and 10µs (expected = min
+	// exec per step index). Per-step graphs give bf a per-step rating of
+	// 100 in each, so R(bf) = 100×(30/40) + 100×(10/40) = 100.
+	recs := []collective.StepRecord{
+		// Step 0: host 0 slow (40µs vs host 1's 10µs baseline).
+		{Host: 0, Step: 0, Flow: cf0, Start: 0, End: usT(40), WaitSrc: topo.None},
+		{Host: 1, Step: 0, Flow: fabric.FlowKey{Src: 1, Dst: 0, SrcPort: 5000, DstPort: 5000, Proto: 17},
+			Start: 0, End: usT(10), WaitSrc: topo.None},
+		// Step 1: host 0 slow again (20µs vs 10µs).
+		{Host: 0, Step: 1, Flow: cf1, Start: usT(40), End: usT(60), WaitSrc: 1, WaitStep: 0},
+		{Host: 1, Step: 1, Flow: fabric.FlowKey{Src: 1, Dst: 0, SrcPort: 5001, DstPort: 5001, Proto: 17},
+			Start: usT(10), End: usT(20), WaitSrc: 0, WaitStep: 0},
+	}
+	mkRep := func(trigger, cfFlow fabric.FlowKey) *telemetry.Report {
+		return &telemetry.Report{
+			TriggeredBy: trigger,
+			Flows: []telemetry.FlowRecord{
+				{Switch: pA.Node, Port: pA.Port, Flow: cfFlow, Pkts: 10, Bytes: 50000,
+					Wait: map[fabric.FlowKey]int64{bf: 100}},
+				{Switch: pA.Node, Port: pA.Port, Flow: bf, Pkts: 10, Bytes: 50000,
+					Wait: map[fabric.FlowKey]int64{cfFlow: 100}},
+			},
+			Ports: []telemetry.PortRecord{{Switch: pA.Node, Port: pA.Port, AvgQueuedBytes: 40000}},
+		}
+	}
+	stepOf2 := func(f fabric.FlowKey) (waitgraph.StepRef, bool) {
+		switch f {
+		case cf0:
+			return waitgraph.StepRef{Host: 0, Step: 0}, true
+		case cf1:
+			return waitgraph.StepRef{Host: 0, Step: 1}, true
+		}
+		return waitgraph.StepRef{}, false
+	}
+	d := Analyze(Input{
+		Records: recs,
+		Reports: []*telemetry.Report{mkRep(cf0, cf0), mkRep(cf1, cf1)},
+		CFs:     cfSet(),
+		StepOf:  stepOf2,
+	})
+	if len(d.CriticalPath) != 2 {
+		t.Fatalf("critical path = %v", d.CriticalPath)
+	}
+	if len(d.Ratings) != 1 || d.Ratings[0].Flow != bf {
+		t.Fatalf("ratings = %+v", d.Ratings)
+	}
+	// Each step's R(bf, cf) = 100 (direct contention substitution), and
+	// the slowdown weights sum to 1 → overall exactly 100.
+	if got := d.Ratings[0].Score; got < 99.99 || got > 100.01 {
+		t.Fatalf("Eq 3 score = %v, want 100", got)
+	}
+}
+
+func TestRootPortsDeduped(t *testing.T) {
+	// Two CF ports paused by the same cause must report one root.
+	pB2 := topo.PortID{Node: 22, Port: 0}
+	rep := pfcReport(false)
+	rep.Flows = append(rep.Flows, telemetry.FlowRecord{
+		Switch: pB2.Node, Port: pB2.Port, Flow: cf0, Pkts: 5, Bytes: 5000,
+		Wait: map[fabric.FlowKey]int64{bf: 2},
+	})
+	rep.Ports = append(rep.Ports, telemetry.PortRecord{
+		Switch: pB2.Node, Port: pB2.Port, AvgQueuedBytes: 5000, Paused: true,
+		PFCEvents: []fabric.PFCEvent{
+			{Pause: true, Upstream: pB2, Downstream: pB.Node, CauseEgress: pB.Port},
+		},
+	})
+	// Attach the second pause edge to pB's record too.
+	for i := range rep.Ports {
+		if rep.Ports[i].Switch == pB.Node && rep.Ports[i].Port == pB.Port {
+			rep.Ports[i].PFCEvents = append(rep.Ports[i].PFCEvents, fabric.PFCEvent{
+				Pause: true, Upstream: pB2, Downstream: pB.Node, CauseEgress: pB.Port,
+			})
+		}
+	}
+	d := Analyze(Input{Records: records(), Reports: []*telemetry.Report{rep}, CFs: cfSet(), StepOf: stepOf})
+	if got := d.RootPorts(); len(got) != 1 || got[0] != pB {
+		t.Fatalf("roots = %v, want [pB] only", got)
+	}
+}

@@ -1,0 +1,99 @@
+// Package eventq implements the priority queue that orders discrete
+// simulation events. Events with equal timestamps dequeue in the order they
+// were scheduled (FIFO tie-break), which keeps simulations deterministic.
+package eventq
+
+import (
+	"container/heap"
+
+	"vedrfolnir/internal/simtime"
+)
+
+// Event is a callback scheduled at an absolute simulation time.
+type Event struct {
+	At  simtime.Time
+	Fn  func()
+	seq uint64
+	idx int // heap index, -1 when not queued
+}
+
+// Canceled reports whether the event has been removed from its queue (or was
+// never scheduled).
+func (e *Event) Canceled() bool { return e.idx < 0 }
+
+// Queue is a min-heap of events keyed by (At, insertion order).
+// The zero Queue is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push schedules fn at time at and returns a handle that can cancel it.
+func (q *Queue) Push(at simtime.Time, fn func()) *Event {
+	q.seq++
+	e := &Event{At: at, Fn: fn, seq: q.seq}
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Pop removes and returns the earliest event, or nil if the queue is empty.
+func (q *Queue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	e := heap.Pop(&q.h).(*Event)
+	return e
+}
+
+// Peek returns the earliest event without removing it, or nil when empty.
+func (q *Queue) Peek() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Cancel removes e from the queue if it is still pending. Canceling an
+// already-fired or already-canceled event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.idx < 0 || e.idx >= len(q.h) || q.h[e.idx] != e {
+		return
+	}
+	heap.Remove(&q.h, e.idx)
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}

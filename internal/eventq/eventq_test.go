@@ -1,0 +1,131 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"vedrfolnir/internal/simtime"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Push(30, func() { got = append(got, 3) })
+	q.Push(10, func() { got = append(got, 1) })
+	q.Push(20, func() { got = append(got, 2) })
+	for q.Len() > 0 {
+		q.Pop().Fn()
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Push(42, func() { got = append(got, i) })
+	}
+	for q.Len() > 0 {
+		q.Pop().Fn()
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	fired := false
+	e := q.Push(5, func() { fired = true })
+	q.Cancel(e)
+	if !e.Canceled() {
+		t.Fatalf("event not marked canceled")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue should be empty after cancel, len=%d", q.Len())
+	}
+	if q.Pop() != nil {
+		t.Fatalf("Pop on empty queue should be nil")
+	}
+	if fired {
+		t.Fatalf("canceled event fired")
+	}
+	// Double-cancel is a no-op.
+	q.Cancel(e)
+	q.Cancel(nil)
+}
+
+func TestCancelMiddle(t *testing.T) {
+	var q Queue
+	var es []*Event
+	for i := 0; i < 20; i++ {
+		es = append(es, q.Push(simtime.Time(i), nil))
+	}
+	q.Cancel(es[7])
+	q.Cancel(es[13])
+	var times []simtime.Time
+	for q.Len() > 0 {
+		times = append(times, q.Pop().At)
+	}
+	if len(times) != 18 {
+		t.Fatalf("len = %d, want 18", len(times))
+	}
+	for _, at := range times {
+		if at == 7 || at == 13 {
+			t.Fatalf("canceled event %v still dequeued", at)
+		}
+	}
+	if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] }) {
+		t.Fatalf("times not sorted: %v", times)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue
+	if q.Peek() != nil {
+		t.Fatalf("Peek on empty should be nil")
+	}
+	q.Push(9, nil)
+	q.Push(4, nil)
+	if got := q.Peek().At; got != 4 {
+		t.Fatalf("Peek.At = %v, want 4", got)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Peek must not remove; len=%d", q.Len())
+	}
+}
+
+// Property: popping a randomly-filled queue always yields non-decreasing
+// timestamps, even with interleaved cancels.
+func TestHeapInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		var handles []*Event
+		for i := 0; i < 200; i++ {
+			handles = append(handles, q.Push(simtime.Time(rng.Intn(50)), nil))
+		}
+		for i := 0; i < 50; i++ {
+			q.Cancel(handles[rng.Intn(len(handles))])
+		}
+		last := simtime.Time(-1)
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.At < last {
+				return false
+			}
+			last = e.At
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV): the precision/recall comparison (Fig 9), processing and
+// bandwidth overhead (Fig 10), host monitor overhead (Fig 11), the RTT
+// threshold × detection count sweep (Fig 12), the step-aware ablations
+// (Fig 13), and the Fig 14 case study. Each figure has a typed row form so
+// cmd/vedrbench can print the same series the paper plots and tests can
+// assert their shape.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vedrfolnir/internal/diagnose"
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/hostmon"
+	"vedrfolnir/internal/scenario"
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/viz"
+)
+
+// Kinds are the four evaluated anomaly scenarios in paper order.
+var Kinds = []scenario.AnomalyKind{
+	scenario.Contention, scenario.Incast, scenario.PFCStorm, scenario.PFCBackpressure,
+}
+
+// Systems are the compared diagnosis systems in paper order.
+var Systems = []scenario.SystemKind{
+	scenario.Vedrfolnir, scenario.HawkeyeMaxR, scenario.HawkeyeMinR, scenario.FullPolling,
+}
+
+// PaperCaseCounts is the §IV-A case census: 60/60/40/60.
+func PaperCaseCounts() map[scenario.AnomalyKind]int {
+	return map[scenario.AnomalyKind]int{
+		scenario.Contention:      60,
+		scenario.Incast:          60,
+		scenario.PFCStorm:        40,
+		scenario.PFCBackpressure: 60,
+	}
+}
+
+// SmallCaseCounts is a fast census for tests and -short benches.
+func SmallCaseCounts() map[scenario.AnomalyKind]int {
+	return map[scenario.AnomalyKind]int{
+		scenario.Contention:      6,
+		scenario.Incast:          6,
+		scenario.PFCStorm:        4,
+		scenario.PFCBackpressure: 6,
+	}
+}
+
+// Cell is one (scenario, system) aggregate: the quantities behind Figs 9
+// and 10.
+type Cell struct {
+	Kind   scenario.AnomalyKind
+	System scenario.SystemKind
+	Cases  int
+
+	Metrics scenario.Metrics
+
+	// Mean per-case overheads.
+	TelemetryBytes int64 // Fig 10a: processing overhead
+	BandwidthBytes int64 // Fig 10b: polling + notifications + reports
+}
+
+// Precision of the cell.
+func (c Cell) Precision() float64 { return c.Metrics.Precision() }
+
+// Recall of the cell.
+func (c Cell) Recall() float64 { return c.Metrics.Recall() }
+
+// Sweep runs counts[kind] cases per anomaly kind under every system and
+// aggregates them. Fig 9 reads the Metrics; Fig 10 reads the overheads.
+// The paper reports Fig 9 "with optimal parameters": detection count 5.
+func Sweep(cfg scenario.Config, counts map[scenario.AnomalyKind]int,
+	systems []scenario.SystemKind, opts scenario.RunOptions) []Cell {
+
+	var out []Cell
+	for _, kind := range Kinds {
+		n := counts[kind]
+		if n == 0 {
+			continue
+		}
+		for _, sys := range systems {
+			cell := Cell{Kind: kind, System: sys, Cases: n}
+			var telem, bw int64
+			for seed := 0; seed < n; seed++ {
+				cs := scenario.GenerateCase(kind, int64(seed), cfg)
+				res := scenario.Run(cs, sys, cfg, opts)
+				cell.Metrics.Add(res.Outcome)
+				telem += res.Overhead.TelemetryBytes
+				bw += res.Overhead.Bandwidth()
+			}
+			cell.TelemetryBytes = telem / int64(n)
+			cell.BandwidthBytes = bw / int64(n)
+			out = append(out, cell)
+		}
+	}
+	return out
+}
+
+// Fig11Row is one bar group of Fig 11.
+type Fig11Row struct {
+	Label      string
+	CPU        time.Duration
+	AllocBytes uint64
+	SimTime    simtime.Duration
+}
+
+// Fig11 measures the host monitor's in-process overhead: three monitored
+// runs against an unmonitored baseline, as the paper's testbed experiment
+// does with NCCL.
+func Fig11(runs int) []Fig11Row {
+	if runs <= 0 {
+		runs = 3
+	}
+	cfg := hostmon.DefaultConfig()
+	var rows []Fig11Row
+	for i := 0; i < runs; i++ {
+		c := cfg
+		c.WithMonitor = true
+		c.Seed = int64(i + 1)
+		m := hostmon.MeasureAllGather(c)
+		rows = append(rows, Fig11Row{
+			Label:      fmt.Sprintf("with-monitor-%d", i+1),
+			CPU:        m.CPU,
+			AllocBytes: m.AllocBytes,
+			SimTime:    m.SimTime,
+		})
+	}
+	c := cfg
+	c.WithMonitor = false
+	m := hostmon.MeasureAllGather(c)
+	rows = append(rows, Fig11Row{
+		Label:      "without-monitor",
+		CPU:        m.CPU,
+		AllocBytes: m.AllocBytes,
+		SimTime:    m.SimTime,
+	})
+	return rows
+}
+
+// Fig12Row is one point of the Fig 12 sweep.
+type Fig12Row struct {
+	Kind        scenario.AnomalyKind
+	RTTFactor   float64
+	DetectCount int
+	Metrics     scenario.Metrics
+}
+
+// Fig12 sweeps Vedrfolnir's two detection parameters — RTT threshold
+// ∈ {120%, 180%, 240%} and detections per step ∈ {1, 3, 5} — over every
+// scenario.
+func Fig12(cfg scenario.Config, counts map[scenario.AnomalyKind]int) []Fig12Row {
+	factors := []float64{1.2, 1.8, 2.4}
+	detects := []int{1, 3, 5}
+	var out []Fig12Row
+	for _, kind := range Kinds {
+		n := counts[kind]
+		if n == 0 {
+			continue
+		}
+		for _, f := range factors {
+			for _, d := range detects {
+				opts := scenario.DefaultRunOptions(cfg)
+				opts.Monitor.RTTFactor = f
+				opts.Monitor.MaxDetectPerStep = d
+				row := Fig12Row{Kind: kind, RTTFactor: f, DetectCount: d}
+				for seed := 0; seed < n; seed++ {
+					cs := scenario.GenerateCase(kind, int64(seed), cfg)
+					res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+					row.Metrics.Add(res.Outcome)
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out
+}
+
+// Fig13aRow is one fixed-RTT-threshold ablation point: precision and
+// overhead of Vedrfolnir when the step-grained threshold is replaced by a
+// fixed one (contention scenario, ≤3 detections/step).
+type Fig13aRow struct {
+	Threshold      simtime.Duration // 0 = step-grained (the real mechanism)
+	Metrics        scenario.Metrics
+	TelemetryBytes int64
+}
+
+// Fig13a runs the fixed-threshold ablation.
+func Fig13a(cfg scenario.Config, cases int, thresholds []simtime.Duration) []Fig13aRow {
+	var out []Fig13aRow
+	all := append([]simtime.Duration{0}, thresholds...)
+	for _, th := range all {
+		opts := scenario.DefaultRunOptions(cfg)
+		opts.Monitor.FixedRTTThreshold = th
+		opts.Monitor.MaxDetectPerStep = 3
+		row := Fig13aRow{Threshold: th}
+		var telem int64
+		for seed := 0; seed < cases; seed++ {
+			cs := scenario.GenerateCase(scenario.Contention, int64(seed), cfg)
+			res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+			row.Metrics.Add(res.Outcome)
+			telem += res.Overhead.TelemetryBytes
+		}
+		row.TelemetryBytes = telem / int64(cases)
+		out = append(out, row)
+	}
+	return out
+}
+
+// Fig13bRow is one detection-count-allocation ablation point.
+type Fig13bRow struct {
+	Label          string
+	DetectCount    int // 0 = unrestricted (Hawkeye-like triggering)
+	Metrics        scenario.Metrics
+	TelemetryBytes int64
+}
+
+// Fig13b compares bounded detection counts against unrestricted triggering
+// on the contention scenario.
+func Fig13b(cfg scenario.Config, cases int, detects []int) []Fig13bRow {
+	var out []Fig13bRow
+	run := func(label string, mutate func(*scenario.RunOptions), count int) {
+		opts := scenario.DefaultRunOptions(cfg)
+		mutate(&opts)
+		row := Fig13bRow{Label: label, DetectCount: count}
+		var telem int64
+		for seed := 0; seed < cases; seed++ {
+			cs := scenario.GenerateCase(scenario.Contention, int64(seed), cfg)
+			res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+			row.Metrics.Add(res.Outcome)
+			telem += res.Overhead.TelemetryBytes
+		}
+		row.TelemetryBytes = telem / int64(cases)
+		out = append(out, row)
+	}
+	for _, d := range detects {
+		d := d
+		run(fmt.Sprintf("max-%d-per-step", d), func(o *scenario.RunOptions) {
+			o.Monitor.MaxDetectPerStep = d
+		}, d)
+	}
+	run("unrestricted", func(o *scenario.RunOptions) {
+		o.Monitor.Unrestricted = true
+	}, 0)
+	return out
+}
+
+// CaseStudy is the Fig 14 reproduction: the Fig 2a-style contention with
+// one small (BF1 ≈ 90 MB) and one large (BF2 ≈ 450 MB) background flow.
+type CaseStudy struct {
+	Diag        *diagnose.Diagnosis
+	WaitDOT     string
+	ProvDOT     string
+	BF1, BF2    fabric.FlowKey
+	BF1Score    float64
+	BF2Score    float64
+	CriticalStr string
+}
+
+// Fig14 runs the case study and renders its graphs.
+func Fig14(cfg scenario.Config) *CaseStudy {
+	cs := scenario.Case{Kind: scenario.Contention, Seed: 14}
+	// BF1 (small) collides with the flow into rank 3; BF2 (5× larger)
+	// collides with the cross-pod flow into rank 4 — the chain that
+	// bounds the collective — mirroring the Fig 2a placement where the
+	// large background flow dominates the rating.
+	bf1 := fabric.FlowKey{Src: 8, Dst: 3, SrcPort: 9000, DstPort: 9001, Proto: 17}
+	bf2 := fabric.FlowKey{Src: 12, Dst: 4, SrcPort: 9010, DstPort: 9011, Proto: 17}
+	cs.Flows = []scenario.InjectedFlow{
+		{Key: bf1, Bytes: cfg.ScaledBytes(90e6), StartAt: 0},
+		{Key: bf2, Bytes: cfg.ScaledBytes(450e6), StartAt: 0},
+	}
+	res := scenario.Run(cs, scenario.Vedrfolnir, cfg, scenario.DefaultRunOptions(cfg))
+	study := &CaseStudy{
+		Diag:    res.Diag,
+		BF1:     bf1,
+		BF2:     bf2,
+		WaitDOT: "",
+		ProvDOT: "",
+	}
+	res.Diag.WaitGraph.Prune()
+	study.WaitDOT = viz.WaitGraphDOT(res.Diag.WaitGraph)
+	study.ProvDOT = viz.ProvenanceDOT(res.Diag.Graph)
+	for _, r := range res.Diag.Ratings {
+		switch r.Flow {
+		case bf1:
+			study.BF1Score = r.Score
+		case bf2:
+			study.BF2Score = r.Score
+		}
+	}
+	var parts []string
+	for _, ref := range res.Diag.CriticalPath {
+		parts = append(parts, fmt.Sprintf("F%dS%d", ref.Host, ref.Step))
+	}
+	study.CriticalStr = strings.Join(parts, " -> ")
+	return study
+}

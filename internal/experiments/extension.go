@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"vedrfolnir/internal/scenario"
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/stats"
+)
+
+// ExtKinds are the §II-B anomalies implemented beyond the paper's evaluated
+// four (forwarding loops and load imbalance).
+var ExtKinds = []scenario.AnomalyKind{scenario.Loop, scenario.LoadImbalance}
+
+// ExtensionSweep runs the extension scenarios under Vedrfolnir and
+// aggregates their outcomes — the repo's equivalent of extending the
+// paper's Fig 9 to the remaining §II-B anomaly types.
+func ExtensionSweep(cfg scenario.Config, cases int) []Cell {
+	opts := scenario.DefaultRunOptions(cfg)
+	var out []Cell
+	for _, kind := range ExtKinds {
+		cell := Cell{Kind: kind, System: scenario.Vedrfolnir, Cases: cases}
+		var telem, bw int64
+		for seed := 0; seed < cases; seed++ {
+			cs := scenario.GenerateCase(kind, int64(seed), cfg)
+			res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+			cell.Metrics.Add(res.Outcome)
+			telem += res.Overhead.TelemetryBytes
+			bw += res.Overhead.Bandwidth()
+		}
+		cell.TelemetryBytes = telem / int64(cases)
+		cell.BandwidthBytes = bw / int64(cases)
+		out = append(out, cell)
+	}
+	return out
+}
+
+// SlowdownRow summarizes the distribution of per-step slowdowns (actual
+// execution time minus the fastest same-index step) one anomaly kind
+// induces on the collective — the degradation the diagnosis explains.
+type SlowdownRow struct {
+	Kind    scenario.AnomalyKind
+	Summary stats.Summary
+}
+
+// Slowdowns gathers per-step slowdown distributions across cases, per
+// anomaly kind.
+func Slowdowns(cfg scenario.Config, counts map[scenario.AnomalyKind]int) []SlowdownRow {
+	opts := scenario.DefaultRunOptions(cfg)
+	var out []SlowdownRow
+	for _, kind := range Kinds {
+		n := counts[kind]
+		if n == 0 {
+			continue
+		}
+		var sample []simtime.Duration
+		for seed := 0; seed < n; seed++ {
+			cs := scenario.GenerateCase(kind, int64(seed), cfg)
+			res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+			minByStep := map[int]simtime.Duration{}
+			for _, rec := range res.Records {
+				d := rec.End.Sub(rec.Start)
+				if cur, ok := minByStep[rec.Step]; !ok || d < cur {
+					minByStep[rec.Step] = d
+				}
+			}
+			for _, rec := range res.Records {
+				slow := rec.End.Sub(rec.Start) - minByStep[rec.Step]
+				if slow > 0 {
+					sample = append(sample, slow)
+				}
+			}
+		}
+		out = append(out, SlowdownRow{Kind: kind, Summary: stats.Summarize(sample)})
+	}
+	return out
+}

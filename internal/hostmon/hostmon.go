@@ -1,0 +1,130 @@
+// Package hostmon is the real-testbed substitute for Fig 11. The paper
+// measures the host-side monitor's CPU and memory overhead on a 4×H100
+// RoCE testbed running a 4-node NCCL AllGather of 1 GB, comparing runs with
+// and without the monitor. Without that hardware, this package runs the
+// same workload shape through the real monitor implementation in-process
+// and measures actual Go CPU time and allocated bytes, with and without the
+// monitor attached. Fig 11's claim — the monitor's overhead is practically
+// negligible — is checked against the real code, not a model of it.
+package hostmon
+
+import (
+	"runtime"
+	"time"
+
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/monitor"
+	"vedrfolnir/internal/rdma"
+	"vedrfolnir/internal/sim"
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/topo"
+)
+
+// Measurement is one run's host-resource consumption.
+type Measurement struct {
+	// CPU is the wall-clock execution time of the run (single-threaded
+	// simulation, so wall ≈ CPU).
+	CPU time.Duration
+	// AllocBytes is the heap allocated during the run.
+	AllocBytes uint64
+	// Events is the number of simulation events processed.
+	Events uint64
+	// SimTime is the simulated completion time of the AllGather.
+	SimTime simtime.Duration
+}
+
+// Config shapes the measured workload.
+type Config struct {
+	Nodes       int   // paper: 4
+	Bytes       int64 // total AllGather volume; paper: 1 GB (scale down)
+	CellSize    int
+	WithMonitor bool
+	Seed        int64
+}
+
+// DefaultConfig mirrors Fig 11 at 1/90 scale: 4 nodes, ~11 MB.
+func DefaultConfig() Config {
+	return Config{Nodes: 4, Bytes: int64(1e9) / 90, CellSize: 64 << 10, Seed: 1}
+}
+
+// MeasureAllGather executes one AllGather run and measures it.
+func MeasureAllGather(cfg Config) Measurement {
+	tp := topo.New()
+	var ids []topo.NodeID
+	for i := 0; i < cfg.Nodes; i++ {
+		ids = append(ids, tp.AddNode(topo.KindHost, "h"))
+	}
+	sw := tp.AddNode(topo.KindSwitch, "sw")
+	for _, h := range ids {
+		tp.AddLink(h, sw, 100*simtime.Gbps, 2*time.Microsecond)
+	}
+	tp.ComputeRoutes()
+
+	k := sim.New(cfg.Seed)
+	net := fabric.NewNetwork(k, tp, fabric.DefaultConfig())
+	rcfg := rdma.DefaultConfig()
+	rcfg.CellSize = cfg.CellSize
+	hosts := make(map[topo.NodeID]*rdma.Host)
+	for _, id := range ids {
+		hosts[id] = rdma.NewHost(k, net, id, rcfg)
+	}
+	schs, err := collective.Decompose(collective.Spec{
+		Op: collective.AllGather, Alg: collective.Ring, Ranks: ids, Bytes: cfg.Bytes,
+	})
+	if err != nil {
+		panic(err)
+	}
+	run := collective.NewRunner(k, hosts, schs)
+	run.Bind()
+	if cfg.WithMonitor {
+		mcfg := monitor.DefaultConfig()
+		mcfg.CellSize = cfg.CellSize
+		monitor.NewSystem(k, net, run, hosts, mcfg)
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	run.Start()
+	k.Run(simtime.Never)
+
+	cpu := time.Since(start)
+	runtime.ReadMemStats(&after)
+	_, doneAt := run.Done()
+	return Measurement{
+		CPU:        cpu,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		Events:     k.Events(),
+		SimTime:    simtime.Duration(doneAt),
+	}
+}
+
+// Compare runs the workload n times with and without the monitor and
+// returns the per-run averages — the two bar groups of Fig 11.
+func Compare(cfg Config, n int) (with, without Measurement) {
+	if n <= 0 {
+		n = 1
+	}
+	acc := func(withMon bool) Measurement {
+		var total Measurement
+		for i := 0; i < n; i++ {
+			c := cfg
+			c.WithMonitor = withMon
+			c.Seed = cfg.Seed + int64(i)
+			m := MeasureAllGather(c)
+			total.CPU += m.CPU
+			total.AllocBytes += m.AllocBytes
+			total.Events += m.Events
+			total.SimTime += m.SimTime
+		}
+		total.CPU /= time.Duration(n)
+		total.AllocBytes /= uint64(n)
+		total.Events /= uint64(n)
+		total.SimTime /= simtime.Duration(n)
+		return total
+	}
+	return acc(true), acc(false)
+}

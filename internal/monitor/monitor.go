@@ -1,0 +1,404 @@
+// Package monitor implements Vedrfolnir's host-side monitor (§III-C1/C2):
+// waiting-status awareness over the SSQ/RSQ decomposition (Table I),
+// per-step performance recording, and the step-aware adaptive anomaly
+// detection that distinguishes Vedrfolnir from Hawkeye — per-step RTT
+// thresholds recomputed from the topology, a bounded number of detection
+// triggers per step spaced by the estimated FCT, and the transfer of
+// remaining detection opportunities to the waiting flow's monitor through
+// highest-priority notification packets (Figs 5–8).
+package monitor
+
+import (
+	"time"
+
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/rdma"
+	"vedrfolnir/internal/sim"
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/telemetry"
+	"vedrfolnir/internal/topo"
+)
+
+// Config tunes the detection mechanism. The experiment sweeps of Figs 12–13
+// vary RTTFactor and MaxDetectPerStep.
+type Config struct {
+	// RTTFactor scales the per-step topology-derived base RTT into the
+	// detection threshold (1.2 = the paper's "120% RTT").
+	RTTFactor float64
+	// FixedRTTThreshold, when positive, replaces the per-step threshold
+	// with a fixed value for every flow and step (the Fig 13a ablation).
+	FixedRTTThreshold simtime.Duration
+	// MaxDetectPerStep bounds detection triggers per step (Fig 5).
+	MaxDetectPerStep int
+	// Unrestricted disables the per-step budget and FCT-derived spacing,
+	// falling back to a raw spacing alone (the Fig 13b ablation,
+	// "unrestricted triggering similar to Hawkeye").
+	Unrestricted bool
+	// UnrestrictedSpacing is the only rate limit in Unrestricted mode.
+	UnrestrictedSpacing simtime.Duration
+	// Adaptive enables the notification-packet transfer of remaining
+	// detection opportunities (§III-C2's adaptive mechanism).
+	Adaptive bool
+	// StallTimeout, when positive, arms the §V extension: if a running
+	// step produces no RTT sample for this long (its flow is completely
+	// halted — PFC storm or deadlock), a detection triggers immediately,
+	// bypassing the budget. The paper proposes exactly this fix for
+	// anomalies the RTT trigger cannot see because no packets flow.
+	StallTimeout simtime.Duration
+	// Window is the telemetry look-back passed to each poll.
+	Window simtime.Duration
+	// CellSize is the data packet size, needed to estimate base RTTs.
+	CellSize int
+}
+
+// DefaultConfig returns the paper's operating point: 120% step-grained RTT
+// threshold, 3 detections per step, adaptive transfer on.
+func DefaultConfig() Config {
+	return Config{
+		RTTFactor:           1.2,
+		MaxDetectPerStep:    3,
+		Adaptive:            true,
+		UnrestrictedSpacing: time.Microsecond,
+		Window:              5 * time.Millisecond,
+		CellSize:            64 << 10,
+	}
+}
+
+// WaitState is the Table I waiting-status determination.
+type WaitState uint8
+
+// Waiting states.
+const (
+	// Waiting: Send Steps == Recv Steps — the next send step waits for
+	// the current receive to complete.
+	Waiting WaitState = iota
+	// NonWaiting: Send Steps < Recv Steps — the next send step can start
+	// as soon as the current one finishes.
+	NonWaiting
+)
+
+func (s WaitState) String() string {
+	if s == Waiting {
+		return "waiting"
+	}
+	return "non-waiting"
+}
+
+// NotifyPayload is the content of a notification packet (Fig 6): the sender
+// and the detection opportunities being transferred.
+type NotifyPayload struct {
+	From  topo.NodeID
+	Step  int
+	Count int
+}
+
+// Monitor is the per-host detection agent (Fig 8).
+type Monitor struct {
+	K    *sim.Kernel
+	Topo *topo.Topology
+	Net  *fabric.Network
+	Col  *telemetry.Collector
+	Run  *collective.Runner
+	Host topo.NodeID
+	Cfg  Config
+
+	sch *collective.Schedule
+
+	curStep     int
+	stepActive  bool
+	curFlow     fabric.FlowKey
+	threshold   simtime.Duration
+	budget      int
+	minInterval simtime.Duration
+	lastTrigger simtime.Time
+
+	// Reports are the telemetry reports this monitor's detections
+	// produced, in trigger order.
+	Reports []*telemetry.Report
+	// Triggers counts detection activations.
+	Triggers int
+	// StallTriggers counts detections fired by the stall watchdog.
+	StallTriggers int
+	// stallBudget bounds watchdog firings per step so a permanently
+	// stalled flow (deadlock) cannot poll unboundedly.
+	stallBudget int
+	// Transferred counts opportunities handed away; Received counts
+	// opportunities accepted from notifications.
+	Transferred, Received int
+
+	lastSample simtime.Time
+	stallSeq   int // invalidates outstanding watchdog timers
+}
+
+// System wires one monitor per participating host plus a shared collector.
+type System struct {
+	Monitors map[topo.NodeID]*Monitor
+	Col      *telemetry.Collector
+	Cfg      Config
+}
+
+// NewSystem builds monitors for every schedule in the runner and chains
+// itself into the runner's and hosts' hooks (preserving hooks already set).
+func NewSystem(k *sim.Kernel, net *fabric.Network, run *collective.Runner,
+	hosts map[topo.NodeID]*rdma.Host, cfg Config) *System {
+
+	sys := &System{
+		Monitors: make(map[topo.NodeID]*Monitor),
+		Col:      telemetry.NewCollector(net),
+		Cfg:      cfg,
+	}
+	for id, h := range hosts {
+		sch := run.Schedule(id)
+		if sch == nil {
+			continue
+		}
+		m := &Monitor{
+			K:           k,
+			Topo:        net.Topo,
+			Net:         net,
+			Col:         sys.Col,
+			Run:         run,
+			Host:        id,
+			Cfg:         cfg,
+			sch:         sch,
+			lastTrigger: -1 << 62,
+		}
+		sys.Monitors[id] = m
+
+		prevRTT := h.OnRTTSample
+		h.OnRTTSample = func(s rdma.RTTSample) {
+			if prevRTT != nil {
+				prevRTT(s)
+			}
+			m.HandleRTTSample(s)
+		}
+		prevNotify := h.OnNotify
+		h.OnNotify = func(p *fabric.Packet) {
+			if prevNotify != nil {
+				prevNotify(p)
+			}
+			m.HandleNotify(p)
+		}
+	}
+
+	prevStart := run.OnStepStart
+	run.OnStepStart = func(host topo.NodeID, step int, flow fabric.FlowKey, at simtime.Time) {
+		if prevStart != nil {
+			prevStart(host, step, flow, at)
+		}
+		if m := sys.Monitors[host]; m != nil {
+			m.HandleStepStart(step, flow)
+		}
+	}
+	prevEnd := run.OnStepEnd
+	run.OnStepEnd = func(rec collective.StepRecord) {
+		if prevEnd != nil {
+			prevEnd(rec)
+		}
+		if m := sys.Monitors[rec.Host]; m != nil {
+			m.HandleStepEnd(rec)
+		}
+	}
+	return sys
+}
+
+// Reports returns every monitor's retained reports, analyzer-ready.
+func (s *System) Reports() []*telemetry.Report {
+	var out []*telemetry.Report
+	for _, id := range sortedHosts(s.Monitors) {
+		out = append(out, s.Monitors[id].Reports...)
+	}
+	return out
+}
+
+// Triggers sums detection activations across monitors.
+func (s *System) Triggers() int {
+	n := 0
+	for _, m := range s.Monitors {
+		n += m.Triggers
+	}
+	return n
+}
+
+func sortedHosts(ms map[topo.NodeID]*Monitor) []topo.NodeID {
+	out := make([]topo.NodeID, 0, len(ms))
+	for id := range ms {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// WaitState derives Table I's determination from the SSQ/RSQ indices.
+func (m *Monitor) WaitState() WaitState {
+	if m.Run.SendIndex(m.Host) < m.Run.RecvIndex(m.Host) {
+		return NonWaiting
+	}
+	return Waiting
+}
+
+// HandleStepStart recomputes the detection parameters for the new step:
+// the RTT threshold from the topology over the step's actual path (unlike
+// Hawkeye's fixed threshold, §III-C2), the trigger budget, and the
+// FCT-derived minimum trigger spacing.
+func (m *Monitor) HandleStepStart(step int, flow fabric.FlowKey) {
+	m.curStep = step
+	m.curFlow = flow
+	m.stepActive = true
+	st := m.sch.Steps[step]
+
+	if m.Cfg.FixedRTTThreshold > 0 {
+		m.threshold = m.Cfg.FixedRTTThreshold
+	} else {
+		base := m.Topo.EstimateBaseRTT(m.Host, st.Dst, m.Cfg.CellSize, fabric.AckSize, flow.PathHash())
+		m.threshold = simtime.Duration(float64(base) * m.Cfg.RTTFactor)
+	}
+
+	m.budget += m.Cfg.MaxDetectPerStep
+	if m.budget > 4*m.Cfg.MaxDetectPerStep {
+		// Cap hoarding so transferred opportunities cannot grow without
+		// bound (the paper's "upper bound on overhead").
+		m.budget = 4 * m.Cfg.MaxDetectPerStep
+	}
+	est := m.Topo.EstimateFCT(m.Host, st.Dst, st.Bytes, flow.PathHash())
+	div := m.Cfg.MaxDetectPerStep
+	if div <= 0 {
+		div = 1
+	}
+	m.minInterval = est / simtime.Duration(div)
+
+	m.lastSample = m.K.Now()
+	m.stallBudget = 3
+	m.armStallWatchdog()
+}
+
+// armStallWatchdog schedules the §V stall check: if the step is still
+// active and nothing arrived since the timer was armed, the flow is halted
+// and an investigation triggers immediately.
+func (m *Monitor) armStallWatchdog() {
+	if m.Cfg.StallTimeout <= 0 {
+		return
+	}
+	m.stallSeq++
+	seq := m.stallSeq
+	armedAt := m.K.Now()
+	step := m.curStep
+	m.K.After(m.Cfg.StallTimeout, func() {
+		if seq != m.stallSeq || !m.stepActive || m.curStep != step {
+			return
+		}
+		if m.lastSample > armedAt {
+			// Progress since arming: re-arm from the last sample.
+			m.armStallWatchdog()
+			return
+		}
+		if m.stallBudget <= 0 {
+			return
+		}
+		m.stallBudget--
+		m.Triggers++
+		m.StallTriggers++
+		m.lastTrigger = m.K.Now()
+		m.Reports = append(m.Reports, m.Col.Poll(m.curFlow, m.Cfg.Window))
+		m.armStallWatchdog()
+	})
+}
+
+// HandleStepEnd closes the step and, in adaptive mode, transfers the unused
+// detection opportunities to the monitor of the flow waiting on this one
+// via a highest-priority notification packet (Fig 7).
+func (m *Monitor) HandleStepEnd(rec collective.StepRecord) {
+	if rec.Step != m.curStep {
+		return
+	}
+	m.stepActive = false
+	if m.Cfg.Unrestricted {
+		return
+	}
+	// Unused opportunities either transfer to the waiting monitor or
+	// expire with the step (the budget is per step, Fig 5).
+	if !m.Cfg.Adaptive || m.budget <= 0 {
+		m.budget = 0
+		return
+	}
+	st := m.sch.Steps[rec.Step]
+	waiter := st.Dst
+	wsch := m.Run.Schedule(waiter)
+	if wsch == nil {
+		m.budget = 0
+		return
+	}
+	waits := false
+	for _, ws := range wsch.Steps {
+		if ws.WaitSrc == m.Host && ws.WaitStep == rec.Step {
+			waits = true
+			break
+		}
+	}
+	if !waits {
+		m.budget = 0
+		return
+	}
+	count := m.budget
+	m.budget = 0
+	m.Transferred += count
+	pkt := &fabric.Packet{
+		Kind:    fabric.KindNotify,
+		Flow:    rec.Flow,
+		To:      waiter,
+		Size:    fabric.NotifySize,
+		Payload: NotifyPayload{From: m.Host, Step: rec.Step, Count: count},
+	}
+	hops := m.Net.DeliverControl(m.Host, waiter, pkt)
+	m.Col.AddNotifyBytes(int64(hops * fabric.NotifySize))
+}
+
+// HandleNotify accepts transferred detection opportunities.
+func (m *Monitor) HandleNotify(pkt *fabric.Packet) {
+	payload, ok := pkt.Payload.(NotifyPayload)
+	if !ok || !m.Cfg.Adaptive {
+		return
+	}
+	m.budget += payload.Count
+	m.Received += payload.Count
+}
+
+// HandleRTTSample applies the trigger decision of Fig 8 to one RTT
+// observation from the NIC.
+func (m *Monitor) HandleRTTSample(s rdma.RTTSample) {
+	if !m.stepActive || s.Flow != m.curFlow {
+		return
+	}
+	m.lastSample = m.K.Now()
+	if s.RTT <= m.threshold {
+		return
+	}
+	now := m.K.Now()
+	if m.Cfg.Unrestricted {
+		if now.Sub(m.lastTrigger) < m.Cfg.UnrestrictedSpacing {
+			return
+		}
+	} else {
+		if m.budget <= 0 {
+			return
+		}
+		if now.Sub(m.lastTrigger) < m.minInterval {
+			return
+		}
+		m.budget--
+	}
+	m.lastTrigger = now
+	m.Triggers++
+	m.Reports = append(m.Reports, m.Col.Poll(s.Flow, m.Cfg.Window))
+}
+
+// Budget exposes the current remaining detection opportunities (tests).
+func (m *Monitor) Budget() int { return m.budget }
+
+// Threshold exposes the active RTT threshold (tests).
+func (m *Monitor) Threshold() simtime.Duration { return m.threshold }

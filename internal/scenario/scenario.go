@@ -1,0 +1,403 @@
+// Package scenario reproduces the experimental setup of §IV-A: the K=4
+// fat-tree (100 Gbps links, 2 µs delay), the LLM-training-derived Ring
+// AllGather workload, the four anomaly constructions (flow contention,
+// incast, PFC storm, PFC backpressure) with ground truth, the execution of
+// each diagnosis system over a case, and the paper's TP/FP/FN evaluation
+// criteria.
+//
+// All paper-quoted data sizes and times are scaled by Config.Scale
+// (default 1/90) so a full 220-case sweep runs in seconds of wall-clock
+// while every ratio that shapes the results — contention shares, PFC
+// cascade depths, threshold crossings — is preserved (see DESIGN.md §5).
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/rdma"
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/topo"
+)
+
+// AnomalyKind enumerates the four constructed scenarios of §IV-A.
+type AnomalyKind uint8
+
+// Anomaly kinds.
+const (
+	Contention AnomalyKind = iota
+	Incast
+	PFCStorm
+	PFCBackpressure
+	// Loop is the §II-B forwarding-loop anomaly (an extension beyond the
+	// paper's four evaluated scenarios, enabled by the loop signature).
+	Loop
+	// LoadImbalance is the §II-B load-imbalance anomaly: an ECMP
+	// misjudgment concentrates flows that should spread over multiple
+	// uplinks onto one, causing contention (extension scenario).
+	LoadImbalance
+	// Clean runs no anomaly (sanity baseline, not a paper scenario).
+	Clean
+)
+
+func (k AnomalyKind) String() string {
+	switch k {
+	case Contention:
+		return "flow-contention"
+	case Incast:
+		return "incast"
+	case PFCStorm:
+		return "pfc-storm"
+	case PFCBackpressure:
+		return "pfc-backpressure"
+	case Loop:
+		return "forwarding-loop"
+	case LoadImbalance:
+		return "load-imbalance"
+	case Clean:
+		return "clean"
+	default:
+		return fmt.Sprintf("anomaly(%d)", uint8(k))
+	}
+}
+
+// SystemKind selects the diagnosis system under test.
+type SystemKind uint8
+
+// Systems compared in §IV-B.
+const (
+	Vedrfolnir SystemKind = iota
+	HawkeyeMaxR
+	HawkeyeMinR
+	FullPolling
+)
+
+func (s SystemKind) String() string {
+	switch s {
+	case Vedrfolnir:
+		return "vedrfolnir"
+	case HawkeyeMaxR:
+		return "hawkeye-maxr"
+	case HawkeyeMinR:
+		return "hawkeye-minr"
+	case FullPolling:
+		return "full-polling"
+	default:
+		return fmt.Sprintf("system(%d)", uint8(s))
+	}
+}
+
+// InjectedFlow is one background flow with ground truth identity.
+type InjectedFlow struct {
+	Key     fabric.FlowKey
+	Bytes   int64
+	StartAt simtime.Time
+}
+
+// Case is one generated anomaly instance.
+type Case struct {
+	Kind AnomalyKind
+	Seed int64
+
+	// Flows are injected background flows (contention/incast/backpressure).
+	Flows []InjectedFlow
+
+	// Storm ground truth (PFCStorm only): the switch ingress port that
+	// persistently asserts PAUSE.
+	StormSwitch topo.NodeID
+	StormPort   int
+	StormStart  simtime.Time
+	StormDur    simtime.Duration
+
+	// BackpressureRoot is the congested egress port that originates the
+	// organic PFC cascade (PFCBackpressure only).
+	BackpressureRoot topo.PortID
+
+	// Loop ground truth (Loop only): traffic toward LoopDst bounces
+	// between LoopSwitches until TTL exhaustion.
+	LoopSwitches [2]topo.NodeID
+	LoopDst      topo.NodeID
+
+	// Load-imbalance ground truth (LoadImbalance only): at PinnedEdge,
+	// routes toward PinnedDsts all take PinnedPort instead of spreading
+	// over the ECMP group; contention concentrates at that uplink.
+	PinnedEdge topo.NodeID
+	PinnedPort int
+	PinnedDsts []topo.NodeID
+}
+
+// Config parameterizes the evaluation environment.
+type Config struct {
+	// Ranks is the number of collective participants (paper: 8).
+	Ranks int
+	// StepBytes is the per-step per-flow data volume. The paper uses
+	// 360 MB; the default is 360 MB × Scale.
+	StepBytes int64
+	// Scale shrinks every paper-quoted size and time (default 1/90).
+	Scale float64
+	// CellSize for the RDMA hosts.
+	CellSize int
+	// Op/Alg select the collective (paper: Ring AllGather).
+	Op  collective.Op
+	Alg collective.Algorithm
+	// Fabric sets the data-plane thresholds. Cascade depth depends on
+	// the ratio of in-flight bytes to the pause threshold, so shrunken
+	// test workloads should shrink these proportionally.
+	Fabric fabric.Config
+	// CC selects the hosts' congestion controller (default DCQCN).
+	CC rdma.CCKind
+	// Deadline aborts a stuck simulation (simulated time).
+	Deadline simtime.Duration
+}
+
+// DefaultConfig mirrors §IV-A at 1/90 scale.
+func DefaultConfig() Config {
+	scale := 1.0 / 90
+	return Config{
+		Ranks:     8,
+		StepBytes: int64(360e6 * scale), // 4 MB
+		Scale:     scale,
+		CellSize:  64 << 10,
+		Op:        collective.AllGather,
+		Alg:       collective.Ring,
+		Fabric:    fabric.DefaultConfig(),
+		Deadline:  2 * time.Second,
+	}
+}
+
+// ConfigForScale returns the §IV-A configuration at workload scale 1/den.
+// Fabric thresholds scale with the workload (cascade depth tracks the ratio
+// of in-flight bytes to the pause threshold) and the cell size shrinks when
+// steps would otherwise quantize into too few cells.
+func ConfigForScale(den float64) Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 1.0 / den
+	cfg.StepBytes = cfg.ScaledBytes(360e6)
+	f := 90.0 / den // 1.0 at the default 1/90
+	scaleB := func(b int64) int64 {
+		v := int64(float64(b) * f)
+		if v < 8<<10 {
+			v = 8 << 10
+		}
+		return v
+	}
+	cfg.Fabric.PFCPauseThreshold = scaleB(cfg.Fabric.PFCPauseThreshold)
+	cfg.Fabric.PFCResumeThreshold = scaleB(cfg.Fabric.PFCResumeThreshold)
+	cfg.Fabric.ECNThreshold = scaleB(cfg.Fabric.ECNThreshold)
+	for cfg.CellSize > 4096 && cfg.StepBytes/int64(cfg.CellSize) < 32 {
+		cfg.CellSize /= 2
+	}
+	return cfg
+}
+
+// ScaledBytes converts a paper-quoted byte figure to its scaled equivalent.
+func (c Config) ScaledBytes(paperBytes float64) int64 {
+	b := int64(paperBytes * c.Scale)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// scaledMB converts a paper-quoted megabyte figure to scaled bytes.
+func (c Config) scaledMB(mb float64) int64 { return c.ScaledBytes(mb * 1e6) }
+
+// scaledMS converts a paper-quoted millisecond figure to a scaled duration.
+func (c Config) scaledMS(ms float64) simtime.Duration {
+	return simtime.Duration(ms * 1e6 * c.Scale)
+}
+
+// bgKey builds the 5-tuple of the i-th injected flow.
+func bgKey(src, dst topo.NodeID, i int) fabric.FlowKey {
+	return fabric.FlowKey{
+		Src:     src,
+		Dst:     dst,
+		SrcPort: uint16(9000 + 10*i),
+		DstPort: uint16(9001 + 10*i),
+		Proto:   17,
+	}
+}
+
+// GenerateCase builds one anomaly case with ground truth, deterministically
+// from its seed. The construction follows §IV-A: flows are placed randomly
+// but deliberately made to collide with the collective.
+func GenerateCase(kind AnomalyKind, seed int64, cfg Config) Case {
+	rng := rand.New(rand.NewSource(seed))
+	ft := topo.PaperFatTree()
+	ranks := ft.Hosts()[:cfg.Ranks]
+	extras := ft.Hosts()[cfg.Ranks:]
+	cs := Case{Kind: kind, Seed: seed}
+
+	switch kind {
+	case Clean:
+		// no injection
+
+	case Contention:
+		// 1–6 flows, 20 MB–1 GB, start 0–200 ms; random placement that
+		// collides with the collective (destination is a rank host, so
+		// the background flow shares the rank's edge link and often an
+		// agg/core link).
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			src := extras[rng.Intn(len(extras))]
+			dst := ranks[rng.Intn(len(ranks))]
+			cs.Flows = append(cs.Flows, InjectedFlow{
+				Key:     bgKey(src, dst, i),
+				Bytes:   cfg.scaledMB(20 + rng.Float64()*980),
+				StartAt: simtime.Time(rng.Int63n(int64(cfg.scaledMS(200)) + 1)),
+			})
+		}
+
+	case Incast:
+		// 3–8 flows, 20–200 MB, random sources, one shared target rank,
+		// simultaneous start.
+		n := 3 + rng.Intn(6)
+		dst := ranks[rng.Intn(len(ranks))]
+		start := simtime.Time(rng.Int63n(int64(cfg.scaledMS(100)) + 1))
+		srcs := rng.Perm(len(extras))
+		for i := 0; i < n; i++ {
+			src := extras[srcs[i%len(extras)]]
+			cs.Flows = append(cs.Flows, InjectedFlow{
+				Key:     bgKey(src, dst, i),
+				Bytes:   cfg.scaledMB(20 + rng.Float64()*180),
+				StartAt: start,
+			})
+		}
+
+	case PFCStorm:
+		// Continuous PAUSE injection at a switch port on the path of one
+		// of the collective flows; start 0–150 ms, duration 10–100 ms.
+		schedules, err := collective.Decompose(collective.Spec{
+			Op: cfg.Op, Alg: cfg.Alg, Ranks: ranks, Bytes: cfg.StepBytes * int64(cfg.Ranks),
+		})
+		if err != nil {
+			panic(err)
+		}
+		sch := schedules[rng.Intn(4)] // "the paths of 4 collective communication flows"
+		step := rng.Intn(len(sch.Steps))
+		flow := sch.FlowKey(step)
+		path := ft.Path(sch.Host, sch.Steps[step].Dst, flow.PathHash())
+		// Pick any hop whose receiving end is a switch (every hop except
+		// the last, which faces the destination host). The storm asserts
+		// PAUSE from that switch's ingress, halting the hop the
+		// collective flow transits.
+		hop := path[rng.Intn(len(path)-1)]
+		peer := ft.PeerOf(hop)
+		cs.StormSwitch = peer.Node
+		cs.StormPort = peer.Port
+		cs.StormStart = simtime.Time(rng.Int63n(int64(cfg.scaledMS(150)) + 1))
+		cs.StormDur = cfg.scaledMS(10 + rng.Float64()*90)
+
+	case Loop:
+		// Network reconfiguration asynchrony (§II-B): inside a pod the
+		// collective uses, an edge switch's route toward a remote
+		// bystander host points up to one agg while that agg's route
+		// points back down — traffic to the bystander ping-pongs until
+		// TTL death, burning bandwidth on links the collective shares.
+		victim := extras[rng.Intn(len(extras))]
+		pod := rng.Intn(2) // ranks occupy pods 0 and 1
+		edgeIdx := rng.Intn(len(ft.Edge[pod]))
+		edge := ft.Edge[pod][edgeIdx]
+		agg := ft.Agg[pod][rng.Intn(len(ft.Agg[pod]))]
+		cs.LoopSwitches = [2]topo.NodeID{edge, agg}
+		cs.LoopDst = victim
+		// Loop traffic enters from the ranks under the looped edge.
+		srcs := ft.HostsByEdge[pod][edgeIdx]
+		n := 2 + rng.Intn(2)
+		for i := 0; i < n; i++ {
+			cs.Flows = append(cs.Flows, InjectedFlow{
+				Key:     bgKey(srcs[rng.Intn(len(srcs))], victim, i),
+				Bytes:   cfg.scaledMB(20 + rng.Float64()*80),
+				StartAt: simtime.Time(rng.Int63n(int64(cfg.scaledMS(100)) + 1)),
+			})
+		}
+
+	case LoadImbalance:
+		// An edge switch's "ECMP" degenerates: every route toward the
+		// far pods takes one uplink. Background flows from the ranks
+		// under that edge then fight the collective's cross-pod flows on
+		// the pinned link while its twin idles.
+		pod := rng.Intn(2)
+		edgeIdx := rng.Intn(len(ft.Edge[pod]))
+		edge := ft.Edge[pod][edgeIdx]
+		// Uplink ports are those facing agg switches.
+		var uplinks []int
+		for pi, peer := range ft.Node(edge).Ports {
+			if ft.Node(peer.Node).Kind == topo.KindSwitch {
+				uplinks = append(uplinks, pi)
+			}
+		}
+		cs.PinnedEdge = edge
+		cs.PinnedPort = uplinks[rng.Intn(len(uplinks))]
+		// Pin the routes toward every rank outside this edge's pod plus
+		// the background destinations.
+		for _, h := range ranks {
+			hostPod := int(h) / (cfg.Ranks / 2) // ranks fill pods 0 and 1
+			if hostPod != pod {
+				cs.PinnedDsts = append(cs.PinnedDsts, h)
+			}
+		}
+		n := 1 + rng.Intn(3)
+		srcs := ft.HostsByEdge[pod][edgeIdx]
+		for i := 0; i < n; i++ {
+			dst := extras[rng.Intn(len(extras))]
+			cs.PinnedDsts = append(cs.PinnedDsts, dst)
+			cs.Flows = append(cs.Flows, InjectedFlow{
+				Key:     bgKey(srcs[rng.Intn(len(srcs))], dst, i),
+				Bytes:   cfg.scaledMB(50 + rng.Float64()*200),
+				StartAt: simtime.Time(rng.Int63n(int64(cfg.scaledMS(100)) + 1)),
+			})
+		}
+
+	case PFCBackpressure:
+		// PFC originates off the collective path: an incast converges on
+		// an extra host that shares its edge switch with a rank, so the
+		// cascade propagates into ports the collective traverses.
+		victim := extras[rng.Intn(len(extras))]
+		edge, portToVictim := ft.EdgeOf(victim)
+		cs.BackpressureRoot = topo.PortID{Node: edge, Port: portToVictim}
+		n := 3 + rng.Intn(4)
+		start := simtime.Time(rng.Int63n(int64(cfg.scaledMS(150)) + 1))
+		for i := 0; i < n; i++ {
+			// The paper "designs propagation paths partially overlapping
+			// collective communication flows": at least half the incast
+			// sources are rank hosts, so the cascade's upper levels pause
+			// agg/core egress ports the collective transits.
+			var src topo.NodeID
+			if i < (n+1)/2 {
+				src = ranks[rng.Intn(len(ranks))]
+			} else {
+				src = ranksAndExtras(ranks, extras, rng, victim)
+			}
+			cs.Flows = append(cs.Flows, InjectedFlow{
+				Key:     bgKey(src, victim, i),
+				Bytes:   cfg.scaledMB(50 + rng.Float64()*150),
+				StartAt: start + simtime.Time(rng.Int63n(int64(cfg.scaledMS(5))+1)),
+			})
+		}
+	}
+	return cs
+}
+
+// ranksAndExtras picks a random source host that is not the victim.
+func ranksAndExtras(ranks, extras []topo.NodeID, rng *rand.Rand, victim topo.NodeID) topo.NodeID {
+	all := append(append([]topo.NodeID{}, ranks...), extras...)
+	for {
+		h := all[rng.Intn(len(all))]
+		if h != victim {
+			return h
+		}
+	}
+}
+
+// InjectedKeys returns the ground-truth culprit flow set.
+func (c Case) InjectedKeys() map[fabric.FlowKey]bool {
+	out := make(map[fabric.FlowKey]bool, len(c.Flows))
+	for _, f := range c.Flows {
+		out[f.Key] = true
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"vedrfolnir/internal/simtime"
+)
+
+// FatTreeConfig parameterizes the standard k-ary fat-tree of the paper's
+// evaluation: k²/4 core switches, k pods of k/2 aggregation + k/2 edge
+// switches, and k/2 hosts per edge switch. K=4 yields the paper's 20-switch,
+// 16-host topology.
+type FatTreeConfig struct {
+	K         int              // pod count / switch radix; must be even and ≥ 2
+	Bandwidth simtime.Rate     // per-link bandwidth (paper: 100 Gbps)
+	Delay     simtime.Duration // per-link propagation delay (paper: 2 µs)
+}
+
+// FatTree describes a built fat-tree: the topology plus the role of each
+// switch, which the anomaly constructors use to pick injection points.
+type FatTree struct {
+	*Topology
+	Config FatTreeConfig
+
+	Core []NodeID   // k²/4 core switches
+	Agg  [][]NodeID // [pod][k/2] aggregation switches
+	Edge [][]NodeID // [pod][k/2] edge switches
+	// HostsByEdge[pod][edge] lists the k/2 hosts under one edge switch.
+	HostsByEdge [][][]NodeID
+}
+
+// NewFatTree builds a k-ary fat-tree and computes its routes.
+func NewFatTree(cfg FatTreeConfig) *FatTree {
+	if cfg.K < 2 || cfg.K%2 != 0 {
+		panic(fmt.Sprintf("topo: fat-tree K must be even and >= 2, got %d", cfg.K))
+	}
+	k := cfg.K
+	half := k / 2
+	ft := &FatTree{Topology: New(), Config: cfg}
+
+	// Hosts first so their IDs are dense 0..N-1 — collective ranks map
+	// directly onto host NodeIDs.
+	ft.HostsByEdge = make([][][]NodeID, k)
+	for pod := 0; pod < k; pod++ {
+		ft.HostsByEdge[pod] = make([][]NodeID, half)
+		for e := 0; e < half; e++ {
+			for h := 0; h < half; h++ {
+				id := ft.AddNode(KindHost, fmt.Sprintf("host%d", len(ft.Hosts())))
+				ft.HostsByEdge[pod][e] = append(ft.HostsByEdge[pod][e], id)
+			}
+		}
+	}
+
+	for i := 0; i < half*half; i++ {
+		ft.Core = append(ft.Core, ft.AddNode(KindSwitch, fmt.Sprintf("core%d", i)))
+	}
+	ft.Agg = make([][]NodeID, k)
+	ft.Edge = make([][]NodeID, k)
+	for pod := 0; pod < k; pod++ {
+		for a := 0; a < half; a++ {
+			ft.Agg[pod] = append(ft.Agg[pod], ft.AddNode(KindSwitch, fmt.Sprintf("agg%d_%d", pod, a)))
+		}
+		for e := 0; e < half; e++ {
+			ft.Edge[pod] = append(ft.Edge[pod], ft.AddNode(KindSwitch, fmt.Sprintf("edge%d_%d", pod, e)))
+		}
+	}
+
+	// Edge <-> hosts and edge <-> agg.
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			edge := ft.Edge[pod][e]
+			for _, h := range ft.HostsByEdge[pod][e] {
+				ft.AddLink(h, edge, cfg.Bandwidth, cfg.Delay)
+			}
+			for a := 0; a < half; a++ {
+				ft.AddLink(edge, ft.Agg[pod][a], cfg.Bandwidth, cfg.Delay)
+			}
+		}
+	}
+	// Agg <-> core: agg switch a in each pod connects to core switches
+	// [a*half, (a+1)*half).
+	for pod := 0; pod < k; pod++ {
+		for a := 0; a < half; a++ {
+			for c := 0; c < half; c++ {
+				ft.AddLink(ft.Agg[pod][a], ft.Core[a*half+c], cfg.Bandwidth, cfg.Delay)
+			}
+		}
+	}
+
+	ft.ComputeRoutes()
+	return ft
+}
+
+// PaperFatTree returns the evaluation topology of §IV-A: K=4, 100 Gbps
+// links, 2 µs link delay (20 switches, 16 hosts).
+func PaperFatTree() *FatTree {
+	return NewFatTree(FatTreeConfig{
+		K:         4,
+		Bandwidth: 100 * simtime.Gbps,
+		Delay:     2 * time.Microsecond,
+	})
+}
+
+// EdgeOf returns the edge switch a host hangs off, and the host's uplink
+// egress port on that edge switch (the port facing the host).
+func (ft *FatTree) EdgeOf(host NodeID) (sw NodeID, portToHost int) {
+	peer := ft.Nodes[host].Ports[0] // hosts are single-homed on port 0
+	return peer.Node, peer.Port
+}

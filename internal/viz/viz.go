@@ -1,0 +1,123 @@
+// Package viz renders waiting graphs and network provenance graphs as
+// Graphviz DOT, reproducing the case-study visuals of Fig 14: the pruned
+// waiting graph that exposes the critical path, and the provenance graph
+// around an anomalous flow with its edge weights.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/provenance"
+	"vedrfolnir/internal/topo"
+	"vedrfolnir/internal/waitgraph"
+)
+
+// WaitGraphDOT renders g. Critical-path vertices are highlighted; edge
+// styles follow the paper's colour coding (data deps blue, previous-step
+// orange, execution solid dark with the duration as label).
+func WaitGraphDOT(g *waitgraph.Graph) string {
+	var b strings.Builder
+	b.WriteString("digraph waiting {\n  rankdir=RL;\n  node [shape=box, fontsize=10];\n")
+
+	crit := map[waitgraph.StepRef]bool{}
+	path, _ := g.CriticalPath()
+	for _, ref := range path {
+		crit[ref] = true
+	}
+
+	verts := g.Vertices()
+	sort.Slice(verts, func(i, j int) bool { return vertexLess(verts[i], verts[j]) })
+	for _, v := range verts {
+		attrs := ""
+		if crit[waitgraph.StepRef{Host: v.Host, Step: v.Step}] {
+			attrs = ", style=filled, fillcolor=gold"
+		}
+		fmt.Fprintf(&b, "  %q [label=%q%s];\n", v.String(), v.String(), attrs)
+	}
+
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if !vertexEq(edges[i].From, edges[j].From) {
+			return vertexLess(edges[i].From, edges[j].From)
+		}
+		return vertexLess(edges[i].To, edges[j].To)
+	})
+	for _, e := range edges {
+		switch e.Kind {
+		case waitgraph.EdgeExec:
+			fmt.Fprintf(&b, "  %q -> %q [label=%q, color=black];\n",
+				e.From.String(), e.To.String(), e.Weight.String())
+		case waitgraph.EdgePrev:
+			fmt.Fprintf(&b, "  %q -> %q [color=orange];\n", e.From.String(), e.To.String())
+		case waitgraph.EdgeData:
+			fmt.Fprintf(&b, "  %q -> %q [color=blue];\n", e.From.String(), e.To.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func vertexLess(a, b waitgraph.Vertex) bool {
+	if a.Host != b.Host {
+		return a.Host < b.Host
+	}
+	if a.Step != b.Step {
+		return a.Step < b.Step
+	}
+	return a.Kind < b.Kind
+}
+
+func vertexEq(a, b waitgraph.Vertex) bool { return a == b }
+
+// ProvenanceDOT renders g: flows as ellipses (collective flows
+// highlighted), ports as boxes, the three §III-D1 edge types with their
+// weights as labels.
+func ProvenanceDOT(g *provenance.Graph) string {
+	var b strings.Builder
+	b.WriteString("digraph provenance {\n  rankdir=LR;\n  node [fontsize=10];\n")
+
+	flows := map[fabric.FlowKey]bool{}
+	for _, p := range g.Ports() {
+		fmt.Fprintf(&b, "  %q [shape=box];\n", portName(p))
+		for _, f := range g.FlowsAt(p) {
+			flows[f] = true
+		}
+	}
+	var fs []fabric.FlowKey
+	for f := range flows {
+		fs = append(fs, f)
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].String() < fs[j].String() })
+	for _, f := range fs {
+		attrs := "shape=ellipse"
+		if g.IsCF(f) {
+			attrs += ", style=filled, fillcolor=lightblue"
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", f.String(), attrs)
+	}
+
+	for _, p := range g.Ports() {
+		for _, f := range g.FlowsAt(p) {
+			if w := g.WFlowPort(f, p); w > 0 {
+				fmt.Fprintf(&b, "  %q -> %q [label=\"w=%d\"];\n", f.String(), portName(p), w)
+			}
+			if w := g.WPortFlow(p, f); w > 0 {
+				fmt.Fprintf(&b, "  %q -> %q [label=\"w=%.0f\", style=dashed];\n",
+					portName(p), f.String(), w)
+			}
+		}
+		for _, pj := range g.PFCOut(p) {
+			fmt.Fprintf(&b, "  %q -> %q [label=\"pfc w=%.2f\", color=red, penwidth=2];\n",
+				portName(p), portName(pj), g.WPortPort(p, pj))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func portName(p topo.PortID) string {
+	return fmt.Sprintf("sw%d.port%d", p.Node, p.Port)
+}

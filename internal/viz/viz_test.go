@@ -1,0 +1,67 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/provenance"
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/telemetry"
+	"vedrfolnir/internal/topo"
+	"vedrfolnir/internal/waitgraph"
+)
+
+func TestWaitGraphDOT(t *testing.T) {
+	us := func(x int64) simtime.Time { return simtime.Time(x * int64(time.Microsecond)) }
+	recs := []collective.StepRecord{
+		{Host: 0, Step: 0, Start: 0, End: us(10), WaitSrc: topo.None},
+		{Host: 1, Step: 0, Start: 0, End: us(50), WaitSrc: topo.None},
+		{Host: 0, Step: 1, Start: us(50), End: us(60), WaitSrc: 1, BoundByWait: true},
+	}
+	g := waitgraph.Build(recs)
+	dot := WaitGraphDOT(g)
+	for _, want := range []string{"digraph waiting", "F0S1.start", "color=blue", "color=orange", "fillcolor=gold"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Deterministic output.
+	if dot != WaitGraphDOT(g) {
+		t.Fatal("nondeterministic DOT")
+	}
+}
+
+func TestProvenanceDOT(t *testing.T) {
+	cf := fabric.FlowKey{Src: 0, Dst: 1, SrcPort: 5000, DstPort: 5000, Proto: 17}
+	bf := fabric.FlowKey{Src: 8, Dst: 9, SrcPort: 9000, DstPort: 9001, Proto: 17}
+	p1 := topo.PortID{Node: 20, Port: 2}
+	p2 := topo.PortID{Node: 21, Port: 3}
+	rep := &telemetry.Report{
+		Flows: []telemetry.FlowRecord{
+			{Switch: p1.Node, Port: p1.Port, Flow: cf, Pkts: 10, Bytes: 10000,
+				Wait: map[fabric.FlowKey]int64{bf: 7}},
+			{Switch: p2.Node, Port: p2.Port, Flow: bf, Pkts: 5, Bytes: 5000},
+		},
+		Ports: []telemetry.PortRecord{
+			{Switch: p1.Node, Port: p1.Port, AvgQueuedBytes: 8000},
+			{Switch: p2.Node, Port: p2.Port, AvgQueuedBytes: 5000,
+				MeterIn: map[topo.PortID]int64{p1: 5000},
+				PFCEvents: []fabric.PFCEvent{
+					{Pause: true, Upstream: p1, Downstream: p2.Node, CauseEgress: p2.Port},
+				}},
+		},
+	}
+	g := provenance.Build([]*telemetry.Report{rep}, map[fabric.FlowKey]bool{cf: true})
+	dot := ProvenanceDOT(g)
+	for _, want := range []string{"digraph provenance", "sw20.port2", "lightblue", "pfc w=", "w=7"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if dot != ProvenanceDOT(g) {
+		t.Fatal("nondeterministic DOT")
+	}
+}

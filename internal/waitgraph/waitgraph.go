@@ -1,0 +1,308 @@
+// Package waitgraph builds the waiting graph of §III-B: a directed graph
+// whose vertices are the start and end of every step of every flow in a
+// collective, and whose edges express waiting relations — a step's start
+// waits on the end of the same flow's previous step (the "orange" edges),
+// on the end of the step it has a data dependency on (the "blue" edges),
+// and a step's end waits on its own start through an execution edge (the
+// "dark" edges) weighted with the step's execution time. The critical path
+// through this graph is the collective's performance bottleneck (§III-D1).
+package waitgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/topo"
+)
+
+// VertexKind distinguishes the start and end events of a step.
+type VertexKind uint8
+
+// Vertex kinds.
+const (
+	Start VertexKind = iota
+	End
+)
+
+// Vertex is the start or end of step Step of the flow originating at Host —
+// the paper's F_i S_j notation.
+type Vertex struct {
+	Host topo.NodeID
+	Step int
+	Kind VertexKind
+}
+
+func (v Vertex) String() string {
+	k := "start"
+	if v.Kind == End {
+		k = "end"
+	}
+	return fmt.Sprintf("F%dS%d.%s", v.Host, v.Step, k)
+}
+
+// EdgeKind labels the three waiting-relation types of §III-B.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	// EdgeExec connects a step's end to its start; its weight is the
+	// step's execution time (the dark edges).
+	EdgeExec EdgeKind = iota
+	// EdgePrev connects a step's start to the previous step's end of the
+	// same flow; weight 0 (the orange edges).
+	EdgePrev
+	// EdgeData connects a step's start to the end of the step it has a
+	// data dependency on; weight 0 (the blue edges).
+	EdgeData
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeExec:
+		return "exec"
+	case EdgePrev:
+		return "prev"
+	case EdgeData:
+		return "data"
+	default:
+		return fmt.Sprintf("edge(%d)", uint8(k))
+	}
+}
+
+// Edge is a directed waiting relation from the waiter to the waited-for.
+type Edge struct {
+	From, To Vertex
+	Kind     EdgeKind
+	Weight   simtime.Duration
+	// Binding marks the gate that actually delayed the waiter (§III-C1:
+	// waiting "occurs selectively" — only the later of the two gates
+	// binds).
+	Binding bool
+}
+
+// StepRef identifies one step on the critical path.
+type StepRef struct {
+	Host topo.NodeID
+	Step int
+}
+
+// Graph is a built waiting graph.
+type Graph struct {
+	records map[StepRef]collective.StepRecord
+	out     map[Vertex][]Edge
+	in      map[Vertex]int
+	verts   map[Vertex]bool
+}
+
+// Build constructs the waiting graph from completion-ordered step records,
+// exactly as the analyzer does at runtime (§III-D1). Records may arrive in
+// any order; they are sorted by completion time first.
+func Build(records []collective.StepRecord) *Graph {
+	recs := make([]collective.StepRecord, len(records))
+	copy(recs, records)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].End < recs[j].End })
+
+	g := &Graph{
+		records: make(map[StepRef]collective.StepRecord, len(recs)),
+		out:     make(map[Vertex][]Edge),
+		in:      make(map[Vertex]int),
+		verts:   make(map[Vertex]bool),
+	}
+	for _, rec := range recs {
+		g.records[StepRef{rec.Host, rec.Step}] = rec
+	}
+	for _, rec := range recs {
+		s := Vertex{rec.Host, rec.Step, Start}
+		e := Vertex{rec.Host, rec.Step, End}
+		g.addEdge(Edge{From: e, To: s, Kind: EdgeExec, Weight: rec.End.Sub(rec.Start), Binding: true})
+		if rec.Step > 0 {
+			prev := Vertex{rec.Host, rec.Step - 1, End}
+			if g.verts[prev] || g.known(rec.Host, rec.Step-1) {
+				g.addEdge(Edge{From: s, To: prev, Kind: EdgePrev, Binding: !rec.BoundByWait})
+			}
+		}
+		if rec.WaitSrc != topo.None {
+			dep := Vertex{rec.WaitSrc, rec.WaitStep, End}
+			if g.known(rec.WaitSrc, rec.WaitStep) {
+				g.addEdge(Edge{From: s, To: dep, Kind: EdgeData, Binding: rec.BoundByWait})
+			}
+		}
+	}
+	return g
+}
+
+func (g *Graph) known(host topo.NodeID, step int) bool {
+	_, ok := g.records[StepRef{host, step}]
+	return ok
+}
+
+func (g *Graph) addEdge(e Edge) {
+	g.verts[e.From] = true
+	g.verts[e.To] = true
+	g.out[e.From] = append(g.out[e.From], e)
+	g.in[e.To]++
+}
+
+// Vertices returns all vertices (order unspecified).
+func (g *Graph) Vertices() []Vertex {
+	out := make([]Vertex, 0, len(g.verts))
+	for v := range g.verts {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Edges returns all edges (order unspecified).
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, es := range g.out {
+		out = append(out, es...)
+	}
+	return out
+}
+
+// Record returns the step record behind a vertex pair.
+func (g *Graph) Record(ref StepRef) (collective.StepRecord, bool) {
+	rec, ok := g.records[ref]
+	return rec, ok
+}
+
+// Source returns the graph's source: the end vertex of the globally
+// latest-finishing step (the collective's completion).
+func (g *Graph) Source() (Vertex, bool) {
+	var best collective.StepRecord
+	found := false
+	for _, rec := range g.records {
+		if !found || rec.End > best.End ||
+			(rec.End == best.End && (rec.Host < best.Host || (rec.Host == best.Host && rec.Step < best.Step))) {
+			best, found = rec, true
+		}
+	}
+	if !found {
+		return Vertex{}, false
+	}
+	return Vertex{best.Host, best.Step, End}, true
+}
+
+// Prune recursively removes vertices with in-degree zero — vertices no one
+// waits for — keeping the graph's source, as the analyzer does before
+// presenting the graph (§III-D1, Fig 14a). It returns the number of
+// vertices removed.
+func (g *Graph) Prune() int {
+	src, ok := g.Source()
+	if !ok {
+		return 0
+	}
+	removed := 0
+	for {
+		var dead []Vertex
+		for v := range g.verts {
+			if v == src {
+				continue
+			}
+			if g.in[v] == 0 {
+				dead = append(dead, v)
+			}
+		}
+		if len(dead) == 0 {
+			return removed
+		}
+		for _, v := range dead {
+			for _, e := range g.out[v] {
+				g.in[e.To]--
+			}
+			delete(g.out, v)
+			delete(g.verts, v)
+			delete(g.in, v)
+			removed++
+		}
+	}
+}
+
+// CriticalPath walks the binding gates backward from the collective's
+// completion to a dependency-free step start, returning the steps on the
+// path in execution order plus the total elapsed time they explain. These
+// steps are the collective's performance bottleneck; the flows they belong
+// to are the "critical flows" whose provenance the analyzer inspects.
+func (g *Graph) CriticalPath() ([]StepRef, simtime.Duration) {
+	src, ok := g.Source()
+	if !ok {
+		return nil, 0
+	}
+	var path []StepRef
+	cur := StepRef{src.Host, src.Step}
+	seen := map[StepRef]bool{}
+	for {
+		if seen[cur] {
+			break // defensive: malformed records
+		}
+		seen[cur] = true
+		path = append(path, cur)
+		rec := g.records[cur]
+		if cur.Step == 0 {
+			break
+		}
+		if rec.BoundByWait {
+			next := StepRef{rec.WaitSrc, rec.WaitStep}
+			if _, ok := g.records[next]; !ok {
+				break
+			}
+			cur = next
+		} else {
+			cur = StepRef{cur.Host, cur.Step - 1}
+		}
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	first := g.records[path[0]]
+	last := g.records[path[len(path)-1]]
+	return path, last.End.Sub(first.Start)
+}
+
+// TotalTime returns the collective's span: latest end minus earliest start.
+func (g *Graph) TotalTime() simtime.Duration {
+	var minStart, maxEnd simtime.Time
+	first := true
+	for _, rec := range g.records {
+		if first || rec.Start < minStart {
+			minStart = rec.Start
+		}
+		if first || rec.End > maxEnd {
+			maxEnd = rec.End
+		}
+		first = false
+	}
+	return maxEnd.Sub(minStart)
+}
+
+// StepCount returns the number of step records in the graph.
+func (g *Graph) StepCount() int { return len(g.records) }
+
+// SlowestSteps returns the n steps with the largest execution time, most
+// severe first — a quick triage view the analyzer surfaces alongside the
+// critical path.
+func (g *Graph) SlowestSteps(n int) []StepRef {
+	refs := make([]StepRef, 0, len(g.records))
+	for ref := range g.records {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		di := g.records[refs[i]].End.Sub(g.records[refs[i]].Start)
+		dj := g.records[refs[j]].End.Sub(g.records[refs[j]].Start)
+		if di != dj {
+			return di > dj
+		}
+		if refs[i].Host != refs[j].Host {
+			return refs[i].Host < refs[j].Host
+		}
+		return refs[i].Step < refs[j].Step
+	})
+	if n > len(refs) {
+		n = len(refs)
+	}
+	return refs[:n]
+}

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"encoding/json"
+	"io"
+
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/diagnose"
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/telemetry"
+	"vedrfolnir/internal/waitgraph"
+)
+
+// Bundle is a complete diagnosis input set in exchange form: everything the
+// analyzer needs to reproduce a diagnosis offline (cmd/vedranalyze) or on
+// another machine.
+type Bundle struct {
+	Records []StepRecord `json:"records"`
+	Reports []Report     `json:"reports"`
+	CFs     []Flow       `json:"cfs"`
+}
+
+// NewBundle converts internal analyzer inputs into exchange form.
+func NewBundle(records []collective.StepRecord, reports []*telemetry.Report, cfs map[fabric.FlowKey]bool) *Bundle {
+	b := &Bundle{}
+	for _, r := range records {
+		b.Records = append(b.Records, FromStepRecord(r))
+	}
+	for _, r := range reports {
+		b.Reports = append(b.Reports, FromReport(r))
+	}
+	for f := range cfs {
+		b.CFs = append(b.CFs, FromFlow(f))
+	}
+	sortSlice(b.CFs, flowLess)
+	return b
+}
+
+// Write serializes the bundle as JSON.
+func (b *Bundle) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(b)
+}
+
+// ReadBundle parses a JSON bundle.
+func ReadBundle(r io.Reader) (*Bundle, error) {
+	var b Bundle
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// Analyze reconstructs the internal inputs and runs the analyzer. The
+// step index for per-step provenance grouping is rebuilt from the records.
+func (b *Bundle) Analyze() *diagnose.Diagnosis {
+	var records []collective.StepRecord
+	index := map[fabric.FlowKey]waitgraph.StepRef{}
+	for _, r := range b.Records {
+		rec := r.Record()
+		records = append(records, rec)
+		index[rec.Flow] = waitgraph.StepRef{Host: rec.Host, Step: rec.Step}
+	}
+	var reports []*telemetry.Report
+	for _, r := range b.Reports {
+		reports = append(reports, r.Telemetry())
+	}
+	cfs := map[fabric.FlowKey]bool{}
+	for _, f := range b.CFs {
+		cfs[f.Key()] = true
+	}
+	return diagnose.Analyze(diagnose.Input{
+		Records: records,
+		Reports: reports,
+		CFs:     cfs,
+		StepOf: func(f fabric.FlowKey) (waitgraph.StepRef, bool) {
+			ref, ok := index[f]
+			return ref, ok
+		},
+	})
+}

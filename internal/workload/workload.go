@@ -1,0 +1,77 @@
+// Package workload generates the empirical collective-communication
+// workload of §IV-A, derived from the paper's cited analysis of LLM
+// training traffic: 97% of collective operations are AllReduce or
+// AllGather, each moving 360 MB per step, with the remainder modelled as
+// ReduceScatter. The generator is deterministic per seed and emits
+// decomposition-ready specs.
+package workload
+
+import (
+	"math/rand"
+
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/topo"
+)
+
+// Mix sets the operation proportions. Fractions must sum to ≤ 1; the
+// remainder becomes ReduceScatter.
+type Mix struct {
+	AllReduce float64
+	AllGather float64
+}
+
+// PaperMix is the §IV-A distribution: 97% AllReduce/AllGather, split evenly.
+func PaperMix() Mix { return Mix{AllReduce: 0.485, AllGather: 0.485} }
+
+// Generator produces collective specs.
+type Generator struct {
+	rng   *rand.Rand
+	mix   Mix
+	ranks []topo.NodeID
+	bytes int64
+	alg   collective.Algorithm
+	next  uint16
+}
+
+// NewGenerator builds a deterministic generator. stepBytes is the per-step
+// per-flow volume (paper: 360 MB); each generated spec receives a distinct
+// port base so concurrent collectives never share 5-tuples.
+func NewGenerator(seed int64, mix Mix, ranks []topo.NodeID, stepBytes int64, alg collective.Algorithm) *Generator {
+	return &Generator{
+		rng:   rand.New(rand.NewSource(seed)),
+		mix:   mix,
+		ranks: ranks,
+		bytes: stepBytes,
+		alg:   alg,
+		next:  5000,
+	}
+}
+
+// Next returns the following collective spec in the stream.
+func (g *Generator) Next() collective.Spec {
+	op := collective.ReduceScatter
+	switch r := g.rng.Float64(); {
+	case r < g.mix.AllReduce:
+		op = collective.AllReduce
+	case r < g.mix.AllReduce+g.mix.AllGather:
+		op = collective.AllGather
+	}
+	base := g.next
+	g.next += 200 // room for 200 steps per collective
+	return collective.Spec{
+		Op:    op,
+		Alg:   g.alg,
+		Ranks: g.ranks,
+		Bytes: g.bytes * int64(len(g.ranks)),
+		Base:  base,
+	}
+}
+
+// Batch returns n consecutive specs.
+func (g *Generator) Batch(n int) []collective.Spec {
+	out := make([]collective.Spec, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"testing"
+
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/topo"
+)
+
+func ranks(n int) []topo.NodeID {
+	out := make([]topo.NodeID, n)
+	for i := range out {
+		out[i] = topo.NodeID(i)
+	}
+	return out
+}
+
+func TestMixProportions(t *testing.T) {
+	g := NewGenerator(1, PaperMix(), ranks(8), 360e6, collective.Ring)
+	counts := map[collective.Op]int{}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Op]++
+	}
+	arag := float64(counts[collective.AllReduce]+counts[collective.AllGather]) / n
+	if arag < 0.95 || arag > 0.99 {
+		t.Fatalf("AllReduce+AllGather fraction = %v, want ≈0.97", arag)
+	}
+	if counts[collective.ReduceScatter] == 0 {
+		t.Fatalf("no ReduceScatter in the residual 3%%")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(7, PaperMix(), ranks(8), 1e6, collective.Ring).Batch(50)
+	b := NewGenerator(7, PaperMix(), ranks(8), 1e6, collective.Ring).Batch(50)
+	for i := range a {
+		if a[i].Op != b[i].Op || a[i].Base != b[i].Base {
+			t.Fatalf("generators diverge at %d", i)
+		}
+	}
+}
+
+func TestDistinctPortBases(t *testing.T) {
+	g := NewGenerator(3, PaperMix(), ranks(4), 1e6, collective.Ring)
+	seen := map[uint16]bool{}
+	for i := 0; i < 100; i++ {
+		s := g.Next()
+		if seen[s.Base] {
+			t.Fatalf("duplicate port base %d", s.Base)
+		}
+		seen[s.Base] = true
+	}
+}
+
+func TestSpecsDecompose(t *testing.T) {
+	g := NewGenerator(5, PaperMix(), ranks(8), 8e6, collective.Ring)
+	for _, spec := range g.Batch(20) {
+		schs, err := collective.Decompose(spec)
+		if err != nil {
+			t.Fatalf("spec %+v failed to decompose: %v", spec, err)
+		}
+		if len(schs) != 8 {
+			t.Fatalf("schedules = %d", len(schs))
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package vedrfolnir is an accurate and efficient diagnosis system for RDMA
+// network performance anomalies (NPAs) in collective communications,
+// reproducing the SIGCOMM 2025 paper "Vedrfolnir: RDMA Network Performance
+// Anomalies Diagnosis in Collective Communications".
+//
+// The package offers a high-level Session API: describe a cluster, a
+// collective operation and the traffic disturbing it, run the simulation,
+// and receive a structured diagnosis — performance bottleneck (waiting-graph
+// critical path), root causes (flow contention, incast, PFC backpressure,
+// PFC storms, forwarding loops, PFC deadlock) and contributor ratings that
+// rank the flows responsible.
+//
+//	sess, _ := vedrfolnir.NewSession(vedrfolnir.Options{Ranks: 8})
+//	sess.InjectFlow(8, 3, 20e6, 0)
+//	rep, _ := sess.Run()
+//	fmt.Println(rep.Diagnosis.Summary())
+//
+// The underlying substrates (discrete-event RoCEv2 fabric with PFC/ECN,
+// DCQCN-style hosts, Ring and Halving-Doubling collectives, switch
+// telemetry, step-aware adaptive monitors, Hawkeye and full-polling
+// baselines) live in internal packages; experiment harnesses that
+// regenerate every figure of the paper are in cmd/vedrbench.
+package vedrfolnir
+
+import (
+	"fmt"
+	"time"
+
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/diagnose"
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/monitor"
+	"vedrfolnir/internal/rdma"
+	"vedrfolnir/internal/sim"
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/telemetry"
+	"vedrfolnir/internal/topo"
+	"vedrfolnir/internal/viz"
+	"vedrfolnir/internal/waitgraph"
+)
+
+// Re-exported result types, so callers can consume diagnoses without
+// importing internals.
+type (
+	// Diagnosis is the analyzer's structured output.
+	Diagnosis = diagnose.Diagnosis
+	// Finding is one diagnosed anomaly.
+	Finding = diagnose.Finding
+	// FlowRating is a contributor score (Eq. 3 of the paper).
+	FlowRating = diagnose.FlowRating
+	// FlowKey is a 5-tuple flow identity.
+	FlowKey = fabric.FlowKey
+	// NodeID identifies a host or switch.
+	NodeID = topo.NodeID
+	// AnomalyType classifies findings.
+	AnomalyType = diagnose.AnomalyType
+	// StepRef names one collective step (host, step index).
+	StepRef = waitgraph.StepRef
+	// Overhead is the telemetry cost accounting.
+	Overhead = telemetry.Overhead
+)
+
+// Anomaly types a diagnosis can report.
+const (
+	FlowContention  = diagnose.FlowContention
+	Incast          = diagnose.Incast
+	PFCBackpressure = diagnose.PFCBackpressure
+	PFCStorm        = diagnose.PFCStorm
+	ForwardingLoop  = diagnose.ForwardingLoop
+	PFCDeadlock     = diagnose.PFCDeadlock
+)
+
+// Op selects the collective operation.
+type Op = collective.Op
+
+// Collective operations.
+const (
+	AllGather     = collective.AllGather
+	ReduceScatter = collective.ReduceScatter
+	AllReduce     = collective.AllReduce
+)
+
+// Algorithm selects the collective schedule.
+type Algorithm = collective.Algorithm
+
+// Collective algorithms.
+const (
+	Ring            = collective.Ring
+	HalvingDoubling = collective.HalvingDoubling
+)
+
+// Options configures a Session. The zero value is completed with the
+// paper's defaults (K=4 fat-tree at 100 Gbps/2 µs, 8-rank Ring AllGather,
+// 4 MB steps, step-aware adaptive monitoring at 120% RTT / 3 detections).
+type Options struct {
+	FatTreeK  int
+	Bandwidth simtime.Rate
+	LinkDelay time.Duration
+
+	Ranks     int
+	Op        Op
+	Algorithm Algorithm
+	StepBytes int64
+
+	CellSize int
+	Seed     int64
+
+	Monitor monitor.Config
+	Fabric  fabric.Config
+
+	// Deadline bounds simulated time (a stuck run returns an error).
+	Deadline time.Duration
+}
+
+func (o *Options) fill() {
+	if o.FatTreeK == 0 {
+		o.FatTreeK = 4
+	}
+	if o.Bandwidth == 0 {
+		o.Bandwidth = 100 * simtime.Gbps
+	}
+	if o.LinkDelay == 0 {
+		o.LinkDelay = 2 * time.Microsecond
+	}
+	if o.Ranks == 0 {
+		o.Ranks = 8
+	}
+	if o.StepBytes == 0 {
+		o.StepBytes = 4 << 20
+	}
+	if o.CellSize == 0 {
+		o.CellSize = 64 << 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Monitor.RTTFactor == 0 {
+		o.Monitor = monitor.DefaultConfig()
+	}
+	o.Monitor.CellSize = o.CellSize
+	if o.Fabric.PFCPauseThreshold == 0 {
+		o.Fabric = fabric.DefaultConfig()
+	}
+	if o.Deadline == 0 {
+		o.Deadline = 10 * time.Second
+	}
+}
+
+// Session is one prepared diagnosis run: a cluster, a collective, the
+// monitoring system and any injected disturbances.
+type Session struct {
+	opts Options
+
+	kernel *sim.Kernel
+	ft     *topo.FatTree
+	net    *fabric.Network
+	hosts  map[topo.NodeID]*rdma.Host
+	runner *collective.Runner
+	system *monitor.System
+	cfs    map[fabric.FlowKey]bool
+
+	injected int
+	ran      bool
+}
+
+// NewSession builds the cluster and decomposes the collective.
+func NewSession(opts Options) (*Session, error) {
+	opts.fill()
+	ft := topo.NewFatTree(topo.FatTreeConfig{
+		K:         opts.FatTreeK,
+		Bandwidth: opts.Bandwidth,
+		Delay:     opts.LinkDelay,
+	})
+	if opts.Ranks < 2 || opts.Ranks > len(ft.Hosts()) {
+		return nil, fmt.Errorf("vedrfolnir: ranks %d outside [2, %d]", opts.Ranks, len(ft.Hosts()))
+	}
+	k := sim.New(opts.Seed)
+	k.SetEventLimit(2_000_000_000)
+	net := fabric.NewNetwork(k, ft.Topology, opts.Fabric)
+
+	rcfg := rdma.DefaultConfig()
+	rcfg.CellSize = opts.CellSize
+	hosts := make(map[topo.NodeID]*rdma.Host)
+	for _, id := range ft.Hosts() {
+		hosts[id] = rdma.NewHost(k, net, id, rcfg)
+	}
+
+	ranks := ft.Hosts()[:opts.Ranks]
+	schedules, err := collective.Decompose(collective.Spec{
+		Op:    opts.Op,
+		Alg:   opts.Algorithm,
+		Ranks: ranks,
+		Bytes: opts.StepBytes * int64(opts.Ranks),
+	})
+	if err != nil {
+		return nil, err
+	}
+	runner := collective.NewRunner(k, hosts, schedules)
+	runner.Bind()
+
+	cfs := make(map[fabric.FlowKey]bool)
+	for _, sch := range schedules {
+		for s := range sch.Steps {
+			cfs[sch.FlowKey(s)] = true
+		}
+	}
+	sys := monitor.NewSystem(k, net, runner, hosts, opts.Monitor)
+	return &Session{
+		opts:   opts,
+		kernel: k,
+		ft:     ft,
+		net:    net,
+		hosts:  hosts,
+		runner: runner,
+		system: sys,
+		cfs:    cfs,
+	}, nil
+}
+
+// Hosts returns the cluster's host IDs; the first Options.Ranks of them are
+// the collective's participants.
+func (s *Session) Hosts() []NodeID { return s.ft.Hosts() }
+
+// Switches returns the cluster's switch IDs.
+func (s *Session) Switches() []NodeID { return s.ft.Switches() }
+
+// InjectFlow schedules a background flow of size bytes from src to dst
+// starting at the given offset, and returns its 5-tuple.
+func (s *Session) InjectFlow(src, dst NodeID, bytes int64, at time.Duration) FlowKey {
+	s.injected++
+	key := fabric.FlowKey{
+		Src:     src,
+		Dst:     dst,
+		SrcPort: uint16(9000 + 10*s.injected),
+		DstPort: uint16(9001 + 10*s.injected),
+		Proto:   17,
+	}
+	s.kernel.At(simtime.Time(at), func() {
+		s.hosts[src].Send(key, bytes)
+	})
+	return key
+}
+
+// InjectPFCStorm makes the given switch ingress port continuously assert
+// PAUSE toward its upstream between start and start+duration.
+func (s *Session) InjectPFCStorm(sw NodeID, port int, start, duration time.Duration) {
+	s.net.InjectPFCStorm(sw, port, simtime.Time(start), duration)
+}
+
+// PinRoute overrides the ECMP next-hop set at a switch toward a destination
+// host — the lever for constructing load-imbalance (pin several routes to
+// one uplink) and forwarding-loop (point two switches at each other)
+// anomalies through the public API.
+func (s *Session) PinRoute(at, dst NodeID, ports []int) {
+	s.ft.OverrideNextHops(at, dst, ports)
+}
+
+// PortToward returns the port index on node `at` whose link leads to the
+// neighbour node, or -1 if they are not adjacent. A convenience for
+// constructing PinRoute arguments.
+func (s *Session) PortToward(at, neighbour NodeID) int {
+	for pi, peer := range s.ft.Node(at).Ports {
+		if peer.Node == neighbour {
+			return pi
+		}
+	}
+	return -1
+}
+
+// Report is a completed session's outcome.
+type Report struct {
+	// Diagnosis is the analyzer's structured result.
+	Diagnosis *Diagnosis
+	// CollectiveTime is the collective's completion time in simulated
+	// time.
+	CollectiveTime time.Duration
+	// Overhead accounts the telemetry collected for this diagnosis.
+	Overhead Overhead
+	// Detections is the number of triggered anomaly detections.
+	Detections int
+}
+
+// Run executes the session to collective completion and analyzes it.
+// A session can run only once.
+func (s *Session) Run() (*Report, error) {
+	if s.ran {
+		return nil, fmt.Errorf("vedrfolnir: session already ran")
+	}
+	s.ran = true
+	var doneAt simtime.Time
+	s.runner.OnComplete = func(at simtime.Time) {
+		doneAt = at
+		s.kernel.Stop()
+	}
+	s.runner.Start()
+	s.kernel.Run(simtime.Time(s.opts.Deadline))
+	if done, _ := s.runner.Done(); !done {
+		return nil, fmt.Errorf("vedrfolnir: collective did not complete within %v", s.opts.Deadline)
+	}
+	diag := diagnose.Analyze(diagnose.Input{
+		Records: s.runner.Records(),
+		Reports: s.system.Reports(),
+		CFs:     s.cfs,
+		StepOf: func(f fabric.FlowKey) (waitgraph.StepRef, bool) {
+			host, step, ok := s.runner.StepOf(f)
+			return waitgraph.StepRef{Host: host, Step: step}, ok
+		},
+	})
+	return &Report{
+		Diagnosis:      diag,
+		CollectiveTime: time.Duration(doneAt),
+		Overhead:       s.system.Col.Totals,
+		Detections:     s.system.Triggers(),
+	}, nil
+}
+
+// WaitGraphDOT renders a diagnosis' pruned waiting graph as Graphviz DOT.
+func WaitGraphDOT(d *Diagnosis) string {
+	d.WaitGraph.Prune()
+	return viz.WaitGraphDOT(d.WaitGraph)
+}
+
+// ProvenanceDOT renders a diagnosis' network provenance graph as DOT.
+func ProvenanceDOT(d *Diagnosis) string {
+	return viz.ProvenanceDOT(d.Graph)
+}

@@ -1,0 +1,191 @@
+package vedrfolnir
+
+import (
+	"strings"
+	"testing"
+	"time"
+	"vedrfolnir/internal/monitor"
+)
+
+// small returns fast options for unit tests.
+func small() Options {
+	return Options{
+		Ranks:     4,
+		StepBytes: 1 << 20,
+		CellSize:  16 << 10,
+	}
+}
+
+func TestCleanSession(t *testing.T) {
+	sess, err := NewSession(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CollectiveTime <= 0 {
+		t.Fatalf("no completion time")
+	}
+	if len(rep.Diagnosis.Findings) != 0 {
+		t.Fatalf("clean run produced findings: %+v", rep.Diagnosis.Findings)
+	}
+	if len(rep.Diagnosis.CriticalPath) == 0 {
+		t.Fatalf("no critical path")
+	}
+}
+
+func TestContentionSession(t *testing.T) {
+	sess, err := NewSession(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := sess.Hosts()
+	bg := sess.InjectFlow(hosts[8], hosts[1], 4<<20, 0)
+	rep, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.Diagnosis.Findings {
+		if f.Type == FlowContention || f.Type == Incast {
+			for _, c := range f.Culprits {
+				if c == bg {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("injected flow not identified: %s", rep.Diagnosis.Summary())
+	}
+	if rep.Detections == 0 || rep.Overhead.TelemetryBytes == 0 {
+		t.Fatalf("no detections/overhead recorded")
+	}
+	// DOT exports render.
+	if !strings.Contains(WaitGraphDOT(rep.Diagnosis), "digraph waiting") {
+		t.Fatalf("bad wait DOT")
+	}
+	if !strings.Contains(ProvenanceDOT(rep.Diagnosis), "digraph provenance") {
+		t.Fatalf("bad provenance DOT")
+	}
+}
+
+func TestStormSession(t *testing.T) {
+	opts := small()
+	sess, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pause rank 0's uplink via its edge switch ingress for a while.
+	edgeSwitch := sess.Switches()[4] // first edge switch in a K=4 tree... verify via topology
+	_ = edgeSwitch
+	// Robust: find the switch adjacent to host 0.
+	sess.InjectPFCStorm(sessEdgeOf(t, sess, sess.Hosts()[0]), 0, 50*time.Microsecond, 300*time.Microsecond)
+	rep, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Diagnosis.HasType(PFCStorm) {
+		t.Fatalf("storm not diagnosed: %s", rep.Diagnosis.Summary())
+	}
+}
+
+// sessEdgeOf finds the edge switch a host hangs off using the public host
+// list (the host's uplink peer).
+func sessEdgeOf(t *testing.T, s *Session, host NodeID) NodeID {
+	t.Helper()
+	sw, _ := s.ft.EdgeOf(host)
+	return sw
+}
+
+func TestSessionValidation(t *testing.T) {
+	if _, err := NewSession(Options{Ranks: 1}); err == nil {
+		t.Fatalf("1 rank should fail")
+	}
+	if _, err := NewSession(Options{Ranks: 99}); err == nil {
+		t.Fatalf("99 ranks on K=4 should fail")
+	}
+	sess, err := NewSession(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err == nil {
+		t.Fatalf("second Run should fail")
+	}
+}
+
+func TestHalvingDoublingSession(t *testing.T) {
+	opts := small()
+	opts.Algorithm = HalvingDoubling
+	opts.Op = AllReduce
+	sess, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CollectiveTime <= 0 {
+		t.Fatalf("HD allreduce did not complete")
+	}
+}
+
+func TestLoopViaPublicAPI(t *testing.T) {
+	opts := small()
+	opts.Monitor = monitorDefaultsForTest()
+	sess, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := sess.Hosts()
+	// Loop pod-0 edge0 ↔ agg0 for traffic toward a bystander: switch
+	// order is 4 cores, then per pod [agg, agg, edge, edge].
+	agg := sess.Switches()[4]
+	edge := sess.Switches()[6]
+	victim := hosts[10]
+	up := sess.PortToward(edge, agg)
+	down := sess.PortToward(agg, edge)
+	if up < 0 || down < 0 {
+		t.Fatalf("agg/edge not adjacent: up=%d down=%d", up, down)
+	}
+	sess.PinRoute(edge, victim, []int{up})
+	sess.PinRoute(agg, victim, []int{down})
+	// Feed the loop from a rank under the looped edge.
+	sess.InjectFlow(hosts[0], victim, 2<<20, 0)
+
+	rep, err := sess.Run()
+	if err != nil {
+		// A deadlocked collective may hit the deadline; that is itself
+		// the §II-B failure mode and acceptable here.
+		t.Skipf("collective deadlocked by the loop (expected possibility): %v", err)
+	}
+	if !rep.Diagnosis.HasType(PFCDeadlock) && !rep.Diagnosis.HasType(ForwardingLoop) {
+		t.Fatalf("loop neither detected as deadlock nor as loop: %s", rep.Diagnosis.Summary())
+	}
+}
+
+// monitorDefaultsForTest enables the stall watchdog so halted flows are
+// still investigated (as scenario.DefaultRunOptions does).
+func monitorDefaultsForTest() monitor.Config {
+	m := monitor.DefaultConfig()
+	m.CellSize = 16 << 10
+	m.StallTimeout = 200 * time.Microsecond
+	return m
+}
+
+func TestPortTowardNonAdjacent(t *testing.T) {
+	sess, err := NewSession(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two cores are never adjacent.
+	if got := sess.PortToward(sess.Switches()[0], sess.Switches()[1]); got != -1 {
+		t.Fatalf("non-adjacent PortToward = %d, want -1", got)
+	}
+}

@@ -38,6 +38,26 @@ func benchConfig() scenario.Config {
 	return cfg
 }
 
+// benchCase and benchRun adapt the error-returning scenario API for
+// benchmarks whose fixtures are known-valid.
+func benchCase(tb testing.TB, kind scenario.AnomalyKind, seed int64, cfg scenario.Config) scenario.Case {
+	tb.Helper()
+	cs, err := scenario.GenerateCase(kind, seed, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return cs
+}
+
+func benchRun(tb testing.TB, cs scenario.Case, sys scenario.SystemKind, cfg scenario.Config, opts scenario.RunOptions) scenario.Result {
+	tb.Helper()
+	res, err := scenario.Run(cs, sys, cfg, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
 // benchSystem runs the Fig 9/10 cell for one system: every scenario kind,
 // one seed per iteration, reporting precision and telemetry volume.
 func benchSystem(b *testing.B, sys scenario.SystemKind) {
@@ -50,8 +70,8 @@ func benchSystem(b *testing.B, sys scenario.SystemKind) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, kind := range experiments.Kinds {
-			cs := scenario.GenerateCase(kind, int64(i%8), cfg)
-			res := scenario.Run(cs, sys, cfg, opts)
+			cs := benchCase(b, kind, int64(i%8), cfg)
+			res := benchRun(b, cs, sys, cfg, opts)
 			m.Add(res.Outcome)
 			telem += res.Overhead.TelemetryBytes
 			cases++
@@ -78,8 +98,8 @@ func BenchmarkFig10OverheadVedrfolnir(b *testing.B) {
 	n := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cs := scenario.GenerateCase(scenario.Contention, int64(i%8), cfg)
-		res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+		cs := benchCase(b, scenario.Contention, int64(i%8), cfg)
+		res := benchRun(b, cs, scenario.Vedrfolnir, cfg, opts)
 		telem += res.Overhead.TelemetryBytes
 		bw += res.Overhead.Bandwidth()
 		n++
@@ -97,7 +117,9 @@ func BenchmarkFig11WithMonitor(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		hostmon.MeasureAllGather(cfg)
+		if _, err := hostmon.MeasureAllGather(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -108,7 +130,9 @@ func BenchmarkFig11WithoutMonitor(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		hostmon.MeasureAllGather(cfg)
+		if _, err := hostmon.MeasureAllGather(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -124,8 +148,8 @@ func BenchmarkFig12ParamSweep(b *testing.B) {
 				opts := scenario.DefaultRunOptions(cfg)
 				opts.Monitor.RTTFactor = factor
 				opts.Monitor.MaxDetectPerStep = count
-				cs := scenario.GenerateCase(scenario.PFCBackpressure, int64(i%8), cfg)
-				res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+				cs := benchCase(b, scenario.PFCBackpressure, int64(i%8), cfg)
+				res := benchRun(b, cs, scenario.Vedrfolnir, cfg, opts)
 				m.Add(res.Outcome)
 			}
 		}
@@ -142,8 +166,8 @@ func BenchmarkFig13aFixedThreshold(b *testing.B) {
 	var telem int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cs := scenario.GenerateCase(scenario.Contention, int64(i%8), cfg)
-		res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+		cs := benchCase(b, scenario.Contention, int64(i%8), cfg)
+		res := benchRun(b, cs, scenario.Vedrfolnir, cfg, opts)
 		telem += res.Overhead.TelemetryBytes
 	}
 	b.ReportMetric(float64(telem)/float64(b.N), "telemetryB/case")
@@ -157,8 +181,8 @@ func BenchmarkFig13bUnrestricted(b *testing.B) {
 	var telem int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cs := scenario.GenerateCase(scenario.Contention, int64(i%8), cfg)
-		res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+		cs := benchCase(b, scenario.Contention, int64(i%8), cfg)
+		res := benchRun(b, cs, scenario.Vedrfolnir, cfg, opts)
 		telem += res.Overhead.TelemetryBytes
 	}
 	b.ReportMetric(float64(telem)/float64(b.N), "telemetryB/case")
@@ -169,7 +193,10 @@ func BenchmarkFig14CaseStudy(b *testing.B) {
 	cfg := benchConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		study := experiments.Fig14(cfg)
+		study, err := experiments.Fig14(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if study.BF2Score <= study.BF1Score {
 			b.Fatalf("case study shape broken: BF2 %.0f <= BF1 %.0f",
 				study.BF2Score, study.BF1Score)
@@ -183,9 +210,12 @@ func BenchmarkFig14CaseStudy(b *testing.B) {
 // moving one 4 MB flow across the fat-tree.
 func BenchmarkFabricForwarding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		m := hostmon.MeasureAllGather(hostmon.Config{
+		m, err := hostmon.MeasureAllGather(hostmon.Config{
 			Nodes: 4, Bytes: 4 << 20, CellSize: 16 << 10, Seed: int64(i + 1),
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(float64(m.Events), "events/op")
 	}
 }
@@ -264,8 +294,8 @@ func benchCC(b *testing.B, cc rdma.CCKind) {
 	n := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cs := scenario.GenerateCase(scenario.Contention, int64(i%8), cfg)
-		res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+		cs := benchCase(b, scenario.Contention, int64(i%8), cfg)
+		res := benchRun(b, cs, scenario.Vedrfolnir, cfg, opts)
 		total += time.Duration(res.CollectiveTime)
 		n++
 	}
@@ -286,8 +316,8 @@ func BenchmarkAblationAdaptiveOff(b *testing.B) {
 	var telem int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cs := scenario.GenerateCase(scenario.Contention, int64(i%8), cfg)
-		res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+		cs := benchCase(b, scenario.Contention, int64(i%8), cfg)
+		res := benchRun(b, cs, scenario.Vedrfolnir, cfg, opts)
 		m.Add(res.Outcome)
 		telem += res.Overhead.TelemetryBytes
 	}
@@ -303,7 +333,7 @@ func BenchmarkExtensionScenarios(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, kind := range []scenario.AnomalyKind{scenario.Loop, scenario.LoadImbalance} {
-			res := scenario.Run(scenario.GenerateCase(kind, int64(i%5), cfg), scenario.Vedrfolnir, cfg, opts)
+			res := benchRun(b, benchCase(b, kind, int64(i%5), cfg), scenario.Vedrfolnir, cfg, opts)
 			m.Add(res.Outcome)
 		}
 	}

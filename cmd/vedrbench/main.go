@@ -48,7 +48,11 @@ func main() {
 		// One sweep feeds both figures.
 		opts := scenario.DefaultRunOptions(cfg)
 		opts.Monitor.MaxDetectPerStep = 5 // Fig 9 uses "optimal parameters"
-		cells = experiments.Sweep(cfg, counts, experiments.Systems, opts)
+		var err error
+		cells, err = experiments.Sweep(cfg, counts, experiments.Systems, opts)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if want("9") {
 		run("Fig 9: precision & recall vs baselines", func() { printFig9(cells) })
@@ -61,7 +65,11 @@ func main() {
 	}
 	if want("12") {
 		run("Fig 12: precision & recall over RTT thresholds × detection counts", func() {
-			printFig12(experiments.Fig12(cfg, counts))
+			rows, err := experiments.Fig12(cfg, counts)
+			if err != nil {
+				fatal(err)
+			}
+			printFig12(rows)
 		})
 	}
 	if want("13") {
@@ -89,6 +97,11 @@ func main() {
 	}
 }
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
 func printExtensions(cfg scenario.Config, counts map[scenario.AnomalyKind]int) {
 	cases := counts[scenario.Contention]
 	if cases == 0 {
@@ -96,11 +109,19 @@ func printExtensions(cfg scenario.Config, counts map[scenario.AnomalyKind]int) {
 	}
 	fmt.Println("-- extension anomalies (vedrfolnir) --")
 	fmt.Printf("%-18s %9s %9s %16s\n", "scenario", "precision", "recall", "telemetry(B)")
-	for _, c := range experiments.ExtensionSweep(cfg, cases) {
+	ext, err := experiments.ExtensionSweep(cfg, cases)
+	if err != nil {
+		fatal(err)
+	}
+	for _, c := range ext {
 		fmt.Printf("%-18s %9.2f %9.2f %16d\n", c.Kind, c.Precision(), c.Recall(), c.TelemetryBytes)
 	}
 	fmt.Println("-- per-step slowdown distributions --")
-	for _, row := range experiments.Slowdowns(cfg, counts) {
+	rows, err := experiments.Slowdowns(cfg, counts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, row := range rows {
 		fmt.Printf("%-18s %s\n", row.Kind, row.Summary)
 	}
 }
@@ -121,7 +142,10 @@ func printFig10(cells []experiments.Cell) {
 }
 
 func printFig11() {
-	rows := experiments.Fig11(3)
+	rows, err := experiments.Fig11(3)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("%-18s %12s %14s %12s\n", "run", "cpu", "alloc(B)", "sim-time")
 	for _, r := range rows {
 		fmt.Printf("%-18s %12v %14d %12v\n", r.Label, r.CPU.Round(time.Microsecond), r.AllocBytes, r.SimTime)
@@ -144,7 +168,11 @@ func printFig13(cfg scenario.Config, cases int) {
 	ths := []simtime.Duration{base, 2 * base, 4 * base, 8 * base}
 	fmt.Println("-- Fig 13a: fixed vs step-grained RTT thresholds (contention, ≤3/step) --")
 	fmt.Printf("%-22s %9s %16s\n", "threshold", "precision", "telemetry(B)")
-	for _, row := range experiments.Fig13a(cfg, cases, ths) {
+	rows13a, err := experiments.Fig13a(cfg, cases, ths)
+	if err != nil {
+		fatal(err)
+	}
+	for _, row := range rows13a {
 		label := "step-grained (ours)"
 		if row.Threshold > 0 {
 			label = row.Threshold.String()
@@ -153,13 +181,20 @@ func printFig13(cfg scenario.Config, cases int) {
 	}
 	fmt.Println("-- Fig 13b: detection-count allocation vs unrestricted triggering --")
 	fmt.Printf("%-22s %9s %16s\n", "setting", "precision", "telemetry(B)")
-	for _, row := range experiments.Fig13b(cfg, cases, []int{1, 3, 5}) {
+	rows13b, err := experiments.Fig13b(cfg, cases, []int{1, 3, 5})
+	if err != nil {
+		fatal(err)
+	}
+	for _, row := range rows13b {
 		fmt.Printf("%-22s %9.2f %16d\n", row.Label, row.Metrics.Precision(), row.TelemetryBytes)
 	}
 }
 
 func printFig14(cfg scenario.Config) {
-	study := experiments.Fig14(cfg)
+	study, err := experiments.Fig14(cfg)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Println("critical path:", study.CriticalStr)
 	fmt.Printf("BF1 (%v) overall score: %.0f\n", study.BF1, study.BF1Score)
 	fmt.Printf("BF2 (%v) overall score: %.0f\n", study.BF2, study.BF2Score)

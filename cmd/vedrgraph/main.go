@@ -26,17 +26,22 @@ func main() {
 
 	cfg := scenario.ConfigForScale(*scaleDen)
 
-	study := experiments.Fig14(cfg)
+	study, err := experiments.Fig14(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	for name, content := range map[string]string{
-		"waiting.dot":    study.WaitDOT,
-		"provenance.dot": study.ProvDOT,
-	} {
-		path := filepath.Join(*out, name)
-		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+	files := []struct{ name, content string }{
+		{"waiting.dot", study.WaitDOT},
+		{"provenance.dot", study.ProvDOT},
+	}
+	for _, f := range files {
+		path := filepath.Join(*out, f.name)
+		if err := os.WriteFile(path, []byte(f.content), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,56 @@
+// Command vedrlint runs the repository's determinism and diagnosis
+// invariant analyzers (internal/lint) over the module, multichecker-style.
+// Run it alongside go vet:
+//
+//	go vet ./... && go run ./cmd/vedrlint ./...
+//
+// It prints one line per finding (file:line:col: message (analyzer)) and
+// exits non-zero when any invariant is violated. Suppress a finding with a
+// justified comment on or above the offending line:
+//
+//	//lint:ignore nosystime measuring real host overhead, not simulated time
+//
+// Use -list to print the analyzer suite and the invariant each enforces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vedrfolnir/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vedrlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunSuite(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vedrlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "vedrlint: %d invariant violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

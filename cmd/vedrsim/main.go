@@ -55,9 +55,17 @@ func main() {
 
 	cfg := scenario.ConfigForScale(*scaleDen)
 
-	cs := scenario.GenerateCase(kind, *seed, cfg)
+	cs, err := scenario.GenerateCase(kind, *seed, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	start := time.Now()
-	res := scenario.Run(cs, sys, cfg, scenario.DefaultRunOptions(cfg))
+	res, err := scenario.Run(cs, sys, cfg, scenario.DefaultRunOptions(cfg))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("scenario:   %v (seed %d) under %v\n", kind, *seed, sys)
 	fmt.Printf("completed:  %v (simulated %v, wall %v)\n",

@@ -24,12 +24,15 @@ func testConfig() scenario.Config {
 // the deadline passes (submissions are async over TCP).
 func waitIngested(t *testing.T, s *Server, recs, reps, cfs int) {
 	t.Helper()
+	//lint:ignore nosystime the daemon is a real TCP server; wall clock is the right deadline
 	deadline := time.Now().Add(5 * time.Second)
+	//lint:ignore nosystime polling a real network service, not simulated state
 	for time.Now().Before(deadline) {
 		r, p, c := s.Counts()
 		if r >= recs && p >= reps && c >= cfs {
 			return
 		}
+		//lint:ignore nosystime backoff between polls of the real TCP daemon
 		time.Sleep(time.Millisecond)
 	}
 	r, p, c := s.Counts()
@@ -42,8 +45,14 @@ func waitIngested(t *testing.T, s *Server, recs, reps, cfs int) {
 // diagnosis matches the in-process one exactly.
 func TestEndToEndParity(t *testing.T) {
 	cfg := testConfig()
-	cs := scenario.GenerateCase(scenario.Contention, 3, cfg)
-	res := scenario.Run(cs, scenario.Vedrfolnir, cfg, scenario.DefaultRunOptions(cfg))
+	cs, err := scenario.GenerateCase(scenario.Contention, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.Run(cs, scenario.Vedrfolnir, cfg, scenario.DefaultRunOptions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
 	local := res.Diag
 	if len(res.Reports) == 0 || len(res.Records) == 0 {
 		t.Fatal("setup: no inputs to ship")
@@ -140,6 +149,7 @@ func TestBadMessageRejected(t *testing.T) {
 	if err := c.w.Flush(); err != nil {
 		t.Fatal(err)
 	}
+	//lint:ignore nosystime grace period for the real TCP server to reject the frame
 	time.Sleep(10 * time.Millisecond)
 	if r, p, cf := srv.Counts(); r+p+cf != 0 {
 		t.Fatalf("bogus message ingested: %d/%d/%d", r, p, cf)

@@ -42,7 +42,11 @@ func newRig(t *testing.T, nRanks, nExtra int) *rig {
 	rcfg.CellSize = 4096
 	hosts := map[topo.NodeID]*rdma.Host{}
 	for _, id := range append(append([]topo.NodeID{}, ranks...), extras...) {
-		hosts[id] = rdma.NewHost(k, net, id, rcfg)
+		h, err := rdma.NewHost(k, net, id, rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[id] = h
 	}
 	return &rig{k: k, tp: tp, net: net, hosts: hosts, ranks: ranks, extras: extras}
 }
@@ -87,7 +91,10 @@ func runContention(t *testing.T, mode Mode, cfg HawkeyeConfig) *Hawkeye {
 	t.Helper()
 	r := newRig(t, 4, 1)
 	schs := r.schedules(t, 512*1024)
-	run := collective.NewRunner(r.k, r.hosts, schs)
+	run, err := collective.NewRunner(r.k, r.hosts, schs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	run.Bind()
 	hk := NewHawkeye(r.k, r.net, schs, mode, cfg)
 	hk.Wire(r.hosts)
@@ -144,7 +151,10 @@ func TestMinRTriggersMoreThanMaxR(t *testing.T) {
 func TestFullPolling(t *testing.T) {
 	r := newRig(t, 4, 0)
 	schs := r.schedules(t, 256*1024)
-	run := collective.NewRunner(r.k, r.hosts, schs)
+	run, err := collective.NewRunner(r.k, r.hosts, schs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	run.Bind()
 	fp := NewFullPolling(r.k, r.net, 20*time.Microsecond)
 	run.OnComplete = func(at simtime.Time) { fp.Stop() }
@@ -172,7 +182,10 @@ func TestFullPollingDominatesOverhead(t *testing.T) {
 	// same workload duration scale (it reads every port every epoch).
 	r := newRig(t, 4, 0)
 	schs := r.schedules(t, 256*1024)
-	run := collective.NewRunner(r.k, r.hosts, schs)
+	run, err := collective.NewRunner(r.k, r.hosts, schs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	run.Bind()
 	hk := NewHawkeye(r.k, r.net, schs, MaxR, hkCfg())
 	hk.Wire(r.hosts)

@@ -143,7 +143,11 @@ func newRig(t *testing.T, n int) *rig {
 	cfg.CellSize = 4096
 	hosts := make(map[topo.NodeID]*rdma.Host)
 	for _, id := range ids {
-		hosts[id] = rdma.NewHost(k, net, id, cfg)
+		h, err := rdma.NewHost(k, net, id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[id] = h
 	}
 	return &rig{k: k, tp: tp, hosts: hosts}
 }
@@ -155,7 +159,10 @@ func runCollective(t *testing.T, r *rig, spec Spec) *Runner {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := NewRunner(r.k, r.hosts, schs)
+	run, err := NewRunner(r.k, r.hosts, schs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	run.Bind()
 	run.Start()
 	r.k.SetEventLimit(50_000_000)
@@ -233,13 +240,20 @@ func TestRingOnFatTree(t *testing.T) {
 	hosts := make(map[topo.NodeID]*rdma.Host)
 	ranks := ft.Hosts()[:8]
 	for _, id := range ranks {
-		hosts[id] = rdma.NewHost(k, net, id, cfg)
+		h, err := rdma.NewHost(k, net, id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[id] = h
 	}
 	schs, err := Decompose(Spec{Op: AllGather, Alg: Ring, Ranks: ranks, Bytes: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := NewRunner(k, hosts, schs)
+	run, err := NewRunner(k, hosts, schs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	run.Bind()
 	run.Start()
 	k.SetEventLimit(50_000_000)
@@ -279,7 +293,10 @@ func TestBoundByWaitDetection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run2 := NewRunner(r2.k, r2.hosts, schs)
+	run2, err := NewRunner(r2.k, r2.hosts, schs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	run2.Bind()
 	run2.Start()
 	r2.k.SetEventLimit(50_000_000)
@@ -308,7 +325,10 @@ func TestStepHooks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := NewRunner(r.k, r.hosts, schs)
+	run, err := NewRunner(r.k, r.hosts, schs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	run.Bind()
 	starts, ends := 0, 0
 	var completeAt simtime.Time

@@ -2,6 +2,7 @@ package collective
 
 import (
 	"fmt"
+	"sort"
 
 	"vedrfolnir/internal/fabric"
 	"vedrfolnir/internal/rdma"
@@ -63,6 +64,7 @@ type Runner struct {
 	pending  int
 	doneAt   simtime.Time
 	finished bool
+	err      error
 
 	// OnStepStart fires when a host begins a step (its flow enters the
 	// network).
@@ -73,8 +75,9 @@ type Runner struct {
 	OnComplete func(at simtime.Time)
 }
 
-// NewRunner prepares (but does not start) a collective execution.
-func NewRunner(k *sim.Kernel, hosts map[topo.NodeID]*rdma.Host, schedules []*Schedule) *Runner {
+// NewRunner prepares (but does not start) a collective execution. It fails
+// if a schedule names a host the cluster does not have.
+func NewRunner(k *sim.Kernel, hosts map[topo.NodeID]*rdma.Host, schedules []*Schedule) (*Runner, error) {
 	r := &Runner{
 		K:         k,
 		hosts:     hosts,
@@ -83,7 +86,7 @@ func NewRunner(k *sim.Kernel, hosts map[topo.NodeID]*rdma.Host, schedules []*Sch
 	}
 	for _, sch := range schedules {
 		if _, ok := hosts[sch.Host]; !ok {
-			panic(fmt.Sprintf("collective: no rdma host for node %d", sch.Host))
+			return nil, fmt.Errorf("collective: no rdma host for node %d", sch.Host)
 		}
 		ns := len(sch.Steps)
 		st := &hostState{
@@ -102,7 +105,7 @@ func NewRunner(k *sim.Kernel, hosts map[topo.NodeID]*rdma.Host, schedules []*Sch
 			r.flowIndex[sch.FlowKey(s)] = flowRef{host: sch.Host, step: s}
 		}
 	}
-	return r
+	return r, nil
 }
 
 // Bind wires this runner directly into its hosts' completion hooks. Use it
@@ -117,12 +120,24 @@ func (r *Runner) Bind() {
 	}
 }
 
-// Start launches step 0 of every schedule.
+// Start launches step 0 of every schedule. Hosts are started in ascending
+// ID order: same-timestamp simulation events run FIFO, so launch order is
+// observable in packet interleavings — iterating the state map here would
+// make otherwise-identical runs diverge.
 func (r *Runner) Start() {
+	ids := make([]topo.NodeID, 0, len(r.state))
 	for host := range r.state {
+		ids = append(ids, host)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, host := range ids {
 		r.tryStart(host)
 	}
 }
+
+// Err returns the first step-launch failure, if any. A non-nil Err means
+// the collective cannot complete.
+func (r *Runner) Err() error { return r.err }
 
 // Owns reports whether the flow belongs to this collective.
 func (r *Runner) Owns(flow fabric.FlowKey) bool {
@@ -274,7 +289,12 @@ func (r *Runner) tryStart(host topo.NodeID) {
 		if r.OnStepStart != nil {
 			r.OnStepStart(host, s, flow, now)
 		}
-		r.hosts[host].Send(flow, step.Bytes)
+		if err := r.hosts[host].Send(flow, step.Bytes); err != nil {
+			if r.err == nil {
+				r.err = fmt.Errorf("collective: starting F%dS%d: %w", host, s, err)
+			}
+			return
+		}
 	}
 }
 

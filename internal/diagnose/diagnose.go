@@ -413,8 +413,11 @@ func (d *Diagnosis) rate(in Input) {
 		d.Ratings = append(d.Ratings, FlowRating{Flow: f, Score: s})
 	}
 	sort.Slice(d.Ratings, func(i, j int) bool {
-		if d.Ratings[i].Score != d.Ratings[j].Score {
-			return d.Ratings[i].Score > d.Ratings[j].Score
+		if d.Ratings[i].Score > d.Ratings[j].Score {
+			return true
+		}
+		if d.Ratings[i].Score < d.Ratings[j].Score {
+			return false
 		}
 		return d.Ratings[i].Flow.String() < d.Ratings[j].Flow.String()
 	})

@@ -74,7 +74,7 @@ func (c Cell) Recall() float64 { return c.Metrics.Recall() }
 // aggregates them. Fig 9 reads the Metrics; Fig 10 reads the overheads.
 // The paper reports Fig 9 "with optimal parameters": detection count 5.
 func Sweep(cfg scenario.Config, counts map[scenario.AnomalyKind]int,
-	systems []scenario.SystemKind, opts scenario.RunOptions) []Cell {
+	systems []scenario.SystemKind, opts scenario.RunOptions) ([]Cell, error) {
 
 	var out []Cell
 	for _, kind := range Kinds {
@@ -86,8 +86,14 @@ func Sweep(cfg scenario.Config, counts map[scenario.AnomalyKind]int,
 			cell := Cell{Kind: kind, System: sys, Cases: n}
 			var telem, bw int64
 			for seed := 0; seed < n; seed++ {
-				cs := scenario.GenerateCase(kind, int64(seed), cfg)
-				res := scenario.Run(cs, sys, cfg, opts)
+				cs, err := scenario.GenerateCase(kind, int64(seed), cfg)
+				if err != nil {
+					return nil, err
+				}
+				res, err := scenario.Run(cs, sys, cfg, opts)
+				if err != nil {
+					return nil, err
+				}
 				cell.Metrics.Add(res.Outcome)
 				telem += res.Overhead.TelemetryBytes
 				bw += res.Overhead.Bandwidth()
@@ -97,7 +103,7 @@ func Sweep(cfg scenario.Config, counts map[scenario.AnomalyKind]int,
 			out = append(out, cell)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fig11Row is one bar group of Fig 11.
@@ -111,7 +117,7 @@ type Fig11Row struct {
 // Fig11 measures the host monitor's in-process overhead: three monitored
 // runs against an unmonitored baseline, as the paper's testbed experiment
 // does with NCCL.
-func Fig11(runs int) []Fig11Row {
+func Fig11(runs int) ([]Fig11Row, error) {
 	if runs <= 0 {
 		runs = 3
 	}
@@ -121,7 +127,10 @@ func Fig11(runs int) []Fig11Row {
 		c := cfg
 		c.WithMonitor = true
 		c.Seed = int64(i + 1)
-		m := hostmon.MeasureAllGather(c)
+		m, err := hostmon.MeasureAllGather(c)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, Fig11Row{
 			Label:      fmt.Sprintf("with-monitor-%d", i+1),
 			CPU:        m.CPU,
@@ -131,14 +140,17 @@ func Fig11(runs int) []Fig11Row {
 	}
 	c := cfg
 	c.WithMonitor = false
-	m := hostmon.MeasureAllGather(c)
+	m, err := hostmon.MeasureAllGather(c)
+	if err != nil {
+		return nil, err
+	}
 	rows = append(rows, Fig11Row{
 		Label:      "without-monitor",
 		CPU:        m.CPU,
 		AllocBytes: m.AllocBytes,
 		SimTime:    m.SimTime,
 	})
-	return rows
+	return rows, nil
 }
 
 // Fig12Row is one point of the Fig 12 sweep.
@@ -152,7 +164,7 @@ type Fig12Row struct {
 // Fig12 sweeps Vedrfolnir's two detection parameters — RTT threshold
 // ∈ {120%, 180%, 240%} and detections per step ∈ {1, 3, 5} — over every
 // scenario.
-func Fig12(cfg scenario.Config, counts map[scenario.AnomalyKind]int) []Fig12Row {
+func Fig12(cfg scenario.Config, counts map[scenario.AnomalyKind]int) ([]Fig12Row, error) {
 	factors := []float64{1.2, 1.8, 2.4}
 	detects := []int{1, 3, 5}
 	var out []Fig12Row
@@ -168,15 +180,21 @@ func Fig12(cfg scenario.Config, counts map[scenario.AnomalyKind]int) []Fig12Row 
 				opts.Monitor.MaxDetectPerStep = d
 				row := Fig12Row{Kind: kind, RTTFactor: f, DetectCount: d}
 				for seed := 0; seed < n; seed++ {
-					cs := scenario.GenerateCase(kind, int64(seed), cfg)
-					res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+					cs, err := scenario.GenerateCase(kind, int64(seed), cfg)
+					if err != nil {
+						return nil, err
+					}
+					res, err := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+					if err != nil {
+						return nil, err
+					}
 					row.Metrics.Add(res.Outcome)
 				}
 				out = append(out, row)
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fig13aRow is one fixed-RTT-threshold ablation point: precision and
@@ -189,7 +207,7 @@ type Fig13aRow struct {
 }
 
 // Fig13a runs the fixed-threshold ablation.
-func Fig13a(cfg scenario.Config, cases int, thresholds []simtime.Duration) []Fig13aRow {
+func Fig13a(cfg scenario.Config, cases int, thresholds []simtime.Duration) ([]Fig13aRow, error) {
 	var out []Fig13aRow
 	all := append([]simtime.Duration{0}, thresholds...)
 	for _, th := range all {
@@ -199,15 +217,21 @@ func Fig13a(cfg scenario.Config, cases int, thresholds []simtime.Duration) []Fig
 		row := Fig13aRow{Threshold: th}
 		var telem int64
 		for seed := 0; seed < cases; seed++ {
-			cs := scenario.GenerateCase(scenario.Contention, int64(seed), cfg)
-			res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+			cs, err := scenario.GenerateCase(scenario.Contention, int64(seed), cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+			if err != nil {
+				return nil, err
+			}
 			row.Metrics.Add(res.Outcome)
 			telem += res.Overhead.TelemetryBytes
 		}
 		row.TelemetryBytes = telem / int64(cases)
 		out = append(out, row)
 	}
-	return out
+	return out, nil
 }
 
 // Fig13bRow is one detection-count-allocation ablation point.
@@ -220,32 +244,43 @@ type Fig13bRow struct {
 
 // Fig13b compares bounded detection counts against unrestricted triggering
 // on the contention scenario.
-func Fig13b(cfg scenario.Config, cases int, detects []int) []Fig13bRow {
+func Fig13b(cfg scenario.Config, cases int, detects []int) ([]Fig13bRow, error) {
 	var out []Fig13bRow
-	run := func(label string, mutate func(*scenario.RunOptions), count int) {
+	run := func(label string, mutate func(*scenario.RunOptions), count int) error {
 		opts := scenario.DefaultRunOptions(cfg)
 		mutate(&opts)
 		row := Fig13bRow{Label: label, DetectCount: count}
 		var telem int64
 		for seed := 0; seed < cases; seed++ {
-			cs := scenario.GenerateCase(scenario.Contention, int64(seed), cfg)
-			res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+			cs, err := scenario.GenerateCase(scenario.Contention, int64(seed), cfg)
+			if err != nil {
+				return err
+			}
+			res, err := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+			if err != nil {
+				return err
+			}
 			row.Metrics.Add(res.Outcome)
 			telem += res.Overhead.TelemetryBytes
 		}
 		row.TelemetryBytes = telem / int64(cases)
 		out = append(out, row)
+		return nil
 	}
 	for _, d := range detects {
 		d := d
-		run(fmt.Sprintf("max-%d-per-step", d), func(o *scenario.RunOptions) {
+		if err := run(fmt.Sprintf("max-%d-per-step", d), func(o *scenario.RunOptions) {
 			o.Monitor.MaxDetectPerStep = d
-		}, d)
+		}, d); err != nil {
+			return nil, err
+		}
 	}
-	run("unrestricted", func(o *scenario.RunOptions) {
+	if err := run("unrestricted", func(o *scenario.RunOptions) {
 		o.Monitor.Unrestricted = true
-	}, 0)
-	return out
+	}, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // CaseStudy is the Fig 14 reproduction: the Fig 2a-style contention with
@@ -261,7 +296,7 @@ type CaseStudy struct {
 }
 
 // Fig14 runs the case study and renders its graphs.
-func Fig14(cfg scenario.Config) *CaseStudy {
+func Fig14(cfg scenario.Config) (*CaseStudy, error) {
 	cs := scenario.Case{Kind: scenario.Contention, Seed: 14}
 	// BF1 (small) collides with the flow into rank 3; BF2 (5× larger)
 	// collides with the cross-pod flow into rank 4 — the chain that
@@ -273,7 +308,10 @@ func Fig14(cfg scenario.Config) *CaseStudy {
 		{Key: bf1, Bytes: cfg.ScaledBytes(90e6), StartAt: 0},
 		{Key: bf2, Bytes: cfg.ScaledBytes(450e6), StartAt: 0},
 	}
-	res := scenario.Run(cs, scenario.Vedrfolnir, cfg, scenario.DefaultRunOptions(cfg))
+	res, err := scenario.Run(cs, scenario.Vedrfolnir, cfg, scenario.DefaultRunOptions(cfg))
+	if err != nil {
+		return nil, err
+	}
 	study := &CaseStudy{
 		Diag:    res.Diag,
 		BF1:     bf1,
@@ -297,5 +335,5 @@ func Fig14(cfg scenario.Config) *CaseStudy {
 		parts = append(parts, fmt.Sprintf("F%dS%d", ref.Host, ref.Step))
 	}
 	study.CriticalStr = strings.Join(parts, " -> ")
-	return study
+	return study, nil
 }

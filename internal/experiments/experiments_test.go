@@ -44,7 +44,10 @@ func TestSweepShape(t *testing.T) {
 		t.Skip("sweep is slow")
 	}
 	cfg := fastConfig()
-	cells := Sweep(cfg, tinyCounts(), Systems, scenario.DefaultRunOptions(cfg))
+	cells, err := Sweep(cfg, tinyCounts(), Systems, scenario.DefaultRunOptions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cells) != 4*4 {
 		t.Fatalf("cells = %d, want 16", len(cells))
 	}
@@ -71,7 +74,10 @@ func TestSweepShape(t *testing.T) {
 }
 
 func TestFig11(t *testing.T) {
-	rows := Fig11(2)
+	rows, err := Fig11(2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d, want 2 monitored + 1 baseline", len(rows))
 	}
@@ -91,7 +97,10 @@ func TestFig12Shape(t *testing.T) {
 	}
 	cfg := fastConfig()
 	counts := map[scenario.AnomalyKind]int{scenario.Contention: 2, scenario.PFCBackpressure: 2}
-	rows := Fig12(cfg, counts)
+	rows, err := Fig12(cfg, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2*9 {
 		t.Fatalf("rows = %d, want 18 (2 kinds × 3 factors × 3 counts)", len(rows))
 	}
@@ -107,7 +116,10 @@ func TestFig13b(t *testing.T) {
 		t.Skip("sweep is slow")
 	}
 	cfg := fastConfig()
-	rows := Fig13b(cfg, 2, []int{1, 3})
+	rows, err := Fig13b(cfg, 2, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d, want 3 (two bounded + unrestricted)", len(rows))
 	}
@@ -126,7 +138,10 @@ func TestFig14CaseStudy(t *testing.T) {
 		t.Skip("case study is slow")
 	}
 	cfg := fastConfig()
-	study := Fig14(cfg)
+	study, err := Fig14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(study.WaitDOT, "digraph waiting") {
 		t.Fatalf("missing waiting graph DOT")
 	}
@@ -150,7 +165,10 @@ func TestTrainingSimLocalizesAnomaly(t *testing.T) {
 	}
 	cfg := fastConfig()
 	const iterations, disturbAt = 5, 2
-	results := TrainingSim(cfg, iterations, disturbAt, 4<<20)
+	results, err := TrainingSim(cfg, iterations, disturbAt, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != iterations {
 		t.Fatalf("results = %d", len(results))
 	}
@@ -181,11 +199,14 @@ func TestLargeScaleK8(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large-scale run")
 	}
-	ft := topo.NewFatTree(topo.FatTreeConfig{
+	ft, err := topo.NewFatTree(topo.FatTreeConfig{
 		K:         8,
 		Bandwidth: 100 * simtime.Gbps,
 		Delay:     2 * time.Microsecond,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ft.Switches()) != 80 || len(ft.Hosts()) != 128 {
 		t.Fatalf("K=8 shape: %d switches, %d hosts", len(ft.Switches()), len(ft.Hosts()))
 	}
@@ -202,7 +223,11 @@ func TestLargeScaleK8(t *testing.T) {
 	ranks := ft.Hosts()[:16]
 	extras := ft.Hosts()[16:]
 	for _, id := range ft.Hosts() {
-		hosts[id] = rdma.NewHost(k, net, id, rcfg)
+		h, err := rdma.NewHost(k, net, id, rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[id] = h
 	}
 	schs, err := collective.Decompose(collective.Spec{
 		Op: collective.AllGather, Alg: collective.Ring, Ranks: ranks, Bytes: 16 << 20,
@@ -210,7 +235,10 @@ func TestLargeScaleK8(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := collective.NewRunner(k, hosts, schs)
+	run, err := collective.NewRunner(k, hosts, schs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	run.Bind()
 	mcfg := monitor.DefaultConfig()
 	mcfg.CellSize = 16 << 10

@@ -13,15 +13,21 @@ var ExtKinds = []scenario.AnomalyKind{scenario.Loop, scenario.LoadImbalance}
 // ExtensionSweep runs the extension scenarios under Vedrfolnir and
 // aggregates their outcomes — the repo's equivalent of extending the
 // paper's Fig 9 to the remaining §II-B anomaly types.
-func ExtensionSweep(cfg scenario.Config, cases int) []Cell {
+func ExtensionSweep(cfg scenario.Config, cases int) ([]Cell, error) {
 	opts := scenario.DefaultRunOptions(cfg)
 	var out []Cell
 	for _, kind := range ExtKinds {
 		cell := Cell{Kind: kind, System: scenario.Vedrfolnir, Cases: cases}
 		var telem, bw int64
 		for seed := 0; seed < cases; seed++ {
-			cs := scenario.GenerateCase(kind, int64(seed), cfg)
-			res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+			cs, err := scenario.GenerateCase(kind, int64(seed), cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+			if err != nil {
+				return nil, err
+			}
 			cell.Metrics.Add(res.Outcome)
 			telem += res.Overhead.TelemetryBytes
 			bw += res.Overhead.Bandwidth()
@@ -30,7 +36,7 @@ func ExtensionSweep(cfg scenario.Config, cases int) []Cell {
 		cell.BandwidthBytes = bw / int64(cases)
 		out = append(out, cell)
 	}
-	return out
+	return out, nil
 }
 
 // SlowdownRow summarizes the distribution of per-step slowdowns (actual
@@ -43,7 +49,7 @@ type SlowdownRow struct {
 
 // Slowdowns gathers per-step slowdown distributions across cases, per
 // anomaly kind.
-func Slowdowns(cfg scenario.Config, counts map[scenario.AnomalyKind]int) []SlowdownRow {
+func Slowdowns(cfg scenario.Config, counts map[scenario.AnomalyKind]int) ([]SlowdownRow, error) {
 	opts := scenario.DefaultRunOptions(cfg)
 	var out []SlowdownRow
 	for _, kind := range Kinds {
@@ -53,8 +59,14 @@ func Slowdowns(cfg scenario.Config, counts map[scenario.AnomalyKind]int) []Slowd
 		}
 		var sample []simtime.Duration
 		for seed := 0; seed < n; seed++ {
-			cs := scenario.GenerateCase(kind, int64(seed), cfg)
-			res := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+			cs, err := scenario.GenerateCase(kind, int64(seed), cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
+			if err != nil {
+				return nil, err
+			}
 			minByStep := map[int]simtime.Duration{}
 			for _, rec := range res.Records {
 				d := rec.End.Sub(rec.Start)
@@ -71,5 +83,5 @@ func Slowdowns(cfg scenario.Config, counts map[scenario.AnomalyKind]int) []Slowd
 		}
 		out = append(out, SlowdownRow{Kind: kind, Summary: stats.Summarize(sample)})
 	}
-	return out
+	return out, nil
 }

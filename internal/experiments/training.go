@@ -31,7 +31,7 @@ type TrainingResult struct {
 // disturbing one collective with a background flow. Each collective gets a
 // fresh monitor system and is diagnosed separately, so the test can assert
 // that anomalies localize to the iteration they occurred in.
-func TrainingSim(cfg scenario.Config, iterations, disturbAt int, disturbBytes int64) []TrainingResult {
+func TrainingSim(cfg scenario.Config, iterations, disturbAt int, disturbBytes int64) ([]TrainingResult, error) {
 	ft := topo.PaperFatTree()
 	k := sim.New(4242)
 	k.SetEventLimit(2_000_000_000)
@@ -42,7 +42,11 @@ func TrainingSim(cfg scenario.Config, iterations, disturbAt int, disturbBytes in
 	rcfg.CellSize = cfg.CellSize
 	hosts := make(map[topo.NodeID]*rdma.Host)
 	for _, id := range ft.Hosts() {
-		hosts[id] = rdma.NewHost(k, net, id, rcfg)
+		h, err := rdma.NewHost(k, net, id, rcfg)
+		if err != nil {
+			return nil, err
+		}
+		hosts[id] = h
 	}
 	ranks := ft.Hosts()[:cfg.Ranks]
 	extras := ft.Hosts()[cfg.Ranks:]
@@ -54,9 +58,12 @@ func TrainingSim(cfg scenario.Config, iterations, disturbAt int, disturbBytes in
 		spec := gen.Next()
 		schedules, err := collective.Decompose(spec)
 		if err != nil {
-			panic(fmt.Sprintf("experiments: %v", err))
+			return nil, fmt.Errorf("experiments: %w", err)
 		}
-		run := collective.NewRunner(k, hosts, schedules)
+		run, err := collective.NewRunner(k, hosts, schedules)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
 		run.Bind()
 		cfs := make(map[fabric.FlowKey]bool)
 		for _, sch := range schedules {
@@ -72,7 +79,9 @@ func TrainingSim(cfg scenario.Config, iterations, disturbAt int, disturbBytes in
 				Src: extras[0], Dst: ranks[2],
 				SrcPort: uint16(40000 + it), DstPort: uint16(40001 + it), Proto: 17,
 			}
-			hosts[extras[0]].Send(bg, disturbBytes)
+			if err := hosts[extras[0]].Send(bg, disturbBytes); err != nil {
+				return nil, fmt.Errorf("experiments: background flow: %w", err)
+			}
 		}
 
 		start := k.Now()
@@ -83,8 +92,11 @@ func TrainingSim(cfg scenario.Config, iterations, disturbAt int, disturbBytes in
 		}
 		run.Start()
 		k.Run(simtime.Never)
+		if err := run.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
 		if done, _ := run.Done(); !done {
-			panic(fmt.Sprintf("experiments: training iteration %d stalled", it))
+			return nil, fmt.Errorf("experiments: training iteration %d stalled", it)
 		}
 
 		diag := diagnose.Analyze(diagnose.Input{
@@ -104,5 +116,5 @@ func TrainingSim(cfg scenario.Config, iterations, disturbAt int, disturbBytes in
 			Reports:  len(sys.Reports()),
 		})
 	}
-	return results
+	return results, nil
 }

@@ -1,6 +1,8 @@
 package fabric
 
 import (
+	"fmt"
+
 	"vedrfolnir/internal/simtime"
 	"vedrfolnir/internal/topo"
 )
@@ -9,10 +11,11 @@ import (
 // of §II-B: from start, it continuously asserts PAUSE toward its upstream
 // neighbour regardless of queue occupancy, and releases it after duration.
 // Cascading backpressure then propagates through the normal PFC machinery.
-func (n *Network) InjectPFCStorm(sw topo.NodeID, port int, start simtime.Time, duration simtime.Duration) {
+// The injection point must be a switch.
+func (n *Network) InjectPFCStorm(sw topo.NodeID, port int, start simtime.Time, duration simtime.Duration) error {
 	s := n.switches[sw]
 	if s == nil {
-		panic("fabric: PFC storm injection point must be a switch")
+		return fmt.Errorf("fabric: PFC storm injection point %d is not a switch", sw)
 	}
 	n.K.At(start, func() {
 		s.stormPorts[port] = true
@@ -28,4 +31,5 @@ func (n *Network) InjectPFCStorm(sw topo.NodeID, port int, start simtime.Time, d
 			n.sendPFC(sw, port, false, s.busiestEgressFor(port), true)
 		}
 	})
+	return nil
 }

@@ -41,6 +41,12 @@ type Config struct {
 	CellSize    int
 	WithMonitor bool
 	Seed        int64
+
+	// Stopwatch supplies the CPU-time measurement clock. Nil selects the
+	// system monotonic clock via simtime.NewSystemStopwatch — the only
+	// sanctioned wall-clock source; Fig 11 measures real host overhead, so
+	// simulated time cannot stand in for it. Tests inject fakes here.
+	Stopwatch simtime.Stopwatch
 }
 
 // DefaultConfig mirrors Fig 11 at 1/90 scale: 4 nodes, ~11 MB.
@@ -49,7 +55,7 @@ func DefaultConfig() Config {
 }
 
 // MeasureAllGather executes one AllGather run and measures it.
-func MeasureAllGather(cfg Config) Measurement {
+func MeasureAllGather(cfg Config) (Measurement, error) {
 	tp := topo.New()
 	var ids []topo.NodeID
 	for i := 0; i < cfg.Nodes; i++ {
@@ -67,15 +73,22 @@ func MeasureAllGather(cfg Config) Measurement {
 	rcfg.CellSize = cfg.CellSize
 	hosts := make(map[topo.NodeID]*rdma.Host)
 	for _, id := range ids {
-		hosts[id] = rdma.NewHost(k, net, id, rcfg)
+		h, err := rdma.NewHost(k, net, id, rcfg)
+		if err != nil {
+			return Measurement{}, err
+		}
+		hosts[id] = h
 	}
 	schs, err := collective.Decompose(collective.Spec{
 		Op: collective.AllGather, Alg: collective.Ring, Ranks: ids, Bytes: cfg.Bytes,
 	})
 	if err != nil {
-		panic(err)
+		return Measurement{}, err
 	}
-	run := collective.NewRunner(k, hosts, schs)
+	run, err := collective.NewRunner(k, hosts, schs)
+	if err != nil {
+		return Measurement{}, err
+	}
 	run.Bind()
 	if cfg.WithMonitor {
 		mcfg := monitor.DefaultConfig()
@@ -83,38 +96,48 @@ func MeasureAllGather(cfg Config) Measurement {
 		monitor.NewSystem(k, net, run, hosts, mcfg)
 	}
 
+	sw2 := cfg.Stopwatch
+	if sw2 == nil {
+		sw2 = simtime.NewSystemStopwatch()
+	}
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	start := time.Now()
+	sw2.Start()
 
 	run.Start()
 	k.Run(simtime.Never)
 
-	cpu := time.Since(start)
+	cpu := sw2.Elapsed()
 	runtime.ReadMemStats(&after)
+	if err := run.Err(); err != nil {
+		return Measurement{}, err
+	}
 	_, doneAt := run.Done()
 	return Measurement{
 		CPU:        cpu,
 		AllocBytes: after.TotalAlloc - before.TotalAlloc,
 		Events:     k.Events(),
 		SimTime:    simtime.Duration(doneAt),
-	}
+	}, nil
 }
 
 // Compare runs the workload n times with and without the monitor and
 // returns the per-run averages — the two bar groups of Fig 11.
-func Compare(cfg Config, n int) (with, without Measurement) {
+func Compare(cfg Config, n int) (with, without Measurement, err error) {
 	if n <= 0 {
 		n = 1
 	}
-	acc := func(withMon bool) Measurement {
+	acc := func(withMon bool) (Measurement, error) {
 		var total Measurement
 		for i := 0; i < n; i++ {
 			c := cfg
 			c.WithMonitor = withMon
 			c.Seed = cfg.Seed + int64(i)
-			m := MeasureAllGather(c)
+			m, err := MeasureAllGather(c)
+			if err != nil {
+				return Measurement{}, err
+			}
 			total.CPU += m.CPU
 			total.AllocBytes += m.AllocBytes
 			total.Events += m.Events
@@ -124,7 +147,13 @@ func Compare(cfg Config, n int) (with, without Measurement) {
 		total.AllocBytes /= uint64(n)
 		total.Events /= uint64(n)
 		total.SimTime /= simtime.Duration(n)
-		return total
+		return total, nil
 	}
-	return acc(true), acc(false)
+	if with, err = acc(true); err != nil {
+		return Measurement{}, Measurement{}, err
+	}
+	if without, err = acc(false); err != nil {
+		return Measurement{}, Measurement{}, err
+	}
+	return with, without, nil
 }

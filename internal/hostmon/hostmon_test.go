@@ -5,7 +5,10 @@ import "testing"
 func TestMeasureCompletes(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Bytes = 4 << 20 // small for unit tests
-	m := MeasureAllGather(cfg)
+	m, err := MeasureAllGather(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.SimTime <= 0 {
 		t.Fatalf("collective did not complete: %+v", m)
 	}
@@ -17,7 +20,10 @@ func TestMeasureCompletes(t *testing.T) {
 func TestMonitorOverheadIsModest(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Bytes = 8 << 20
-	with, without := Compare(cfg, 3)
+	with, without, err := Compare(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if with.SimTime != without.SimTime {
 		t.Fatalf("monitor changed the simulated outcome: %v vs %v",
 			with.SimTime, without.SimTime)
@@ -37,8 +43,14 @@ func TestMonitorOverheadIsModest(t *testing.T) {
 func TestCleanRunDeterministicSimTime(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Bytes = 4 << 20
-	a := MeasureAllGather(cfg)
-	b := MeasureAllGather(cfg)
+	a, err := MeasureAllGather(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureAllGather(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.SimTime != b.SimTime || a.Events != b.Events {
 		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
 	}

@@ -1,0 +1,70 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vedrfolnir/internal/lint"
+	"vedrfolnir/internal/lint/linttest"
+)
+
+func td(parts ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, parts...)...)
+}
+
+func TestNoSysTime(t *testing.T)    { linttest.Run(t, lint.NoSysTime, td("nosystime", "a")) }
+func TestSeededRand(t *testing.T)   { linttest.Run(t, lint.SeededRand, td("seededrand", "a")) }
+func TestMapIterOrder(t *testing.T) { linttest.Run(t, lint.MapIterOrder, td("mapiterorder", "a")) }
+func TestNoPanic(t *testing.T)      { linttest.Run(t, lint.NoPanic, td("nopanic", "a")) }
+func TestFloatEq(t *testing.T)      { linttest.Run(t, lint.FloatEq, td("floateq", "a")) }
+
+// TestSuiteScoping pins the package scoping decisions: which invariants
+// govern which parts of the tree.
+func TestSuiteScoping(t *testing.T) {
+	const mod = "vedrfolnir"
+	byName := map[string]func(string) bool{}
+	for _, e := range lint.Suite(mod) {
+		byName[e.Analyzer.Name] = e.AppliesTo
+	}
+	cases := []struct {
+		analyzer string
+		pkg      string
+		want     bool
+	}{
+		{"nosystime", mod + "/internal/sim", true},
+		{"nosystime", mod + "/internal/hostmon", true},
+		{"nosystime", mod + "/internal/simtime", false}, // sanctioned wall-clock gateway
+		{"nosystime", mod + "/internal/lint", false},    // host-side tooling
+		{"nosystime", mod + "/cmd/vedrsim", false},      // CLIs may report wall time
+		{"nosystime", mod, true},                        // root facade is simulated
+		{"seededrand", mod + "/cmd/vedrsim", true},
+		{"seededrand", mod + "/internal/scenario", true},
+		{"mapiterorder", mod + "/internal/provenance", true},
+		{"nopanic", mod + "/internal/diagnose", true},
+		{"nopanic", mod + "/cmd/vedrsim", false}, // binaries may crash on startup
+		{"floateq", mod + "/internal/provenance", true},
+		{"floateq", mod + "/internal/diagnose", true},
+		{"floateq", mod + "/internal/fabric", false},
+	}
+	for _, c := range cases {
+		if got := byName[c.analyzer](c.pkg); got != c.want {
+			t.Errorf("%s applies to %s = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}
+
+// TestRunSuiteOnTree runs the full scoped suite over this repository: the
+// tree must stay invariant-clean (this is the same check CI enforces via
+// cmd/vedrlint).
+func TestRunSuiteOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	diags, err := lint.RunSuite(".", []string{"./..."})
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != on floating-point operands. The contributor
+// ratings (Eqs. 1–3) and threshold computations accumulate float64 sums
+// whose low bits depend on accumulation order and compiler fusion; exact
+// equality on such values is a latent nondeterminism. Compare with an
+// explicit tolerance, or restructure around ordering comparisons.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= on float operands in weight/rating code; use a " +
+		"tolerance or ordering comparisons",
+	Run: runFloatEq,
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx := pass.TypesInfo.TypeOf(be.X)
+			ty := pass.TypesInfo.TypeOf(be.Y)
+			if tx == nil || ty == nil {
+				return true
+			}
+			if isFloat(tx) || isFloat(ty) {
+				pass.Reportf(be.OpPos,
+					"%s on floating-point values is order-of-accumulation sensitive; compare with a tolerance or use </>", be.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+// Package lint is a stdlib-only static-analysis framework plus the suite of
+// analyzers that encode this repository's determinism and diagnosis
+// invariants (see DESIGN.md "Determinism invariants & linting"). The
+// simulator's value proposition is *reproducible* diagnosis: the waiting
+// graph, per-step thresholds and contributor ratings (Eqs. 1–3) must come
+// out identical for identical inputs. The analyzers reject the code
+// patterns that silently break that property — wall-clock reads, globally
+// seeded randomness, order-dependent map iteration, library panics and
+// exact floating-point equality.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) so the suite can migrate to the upstream framework
+// when the dependency becomes available; until then everything here is
+// built on go/ast, go/parser and go/types alone.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. It mirrors analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:ignore <name> reason" suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// ignoreRE matches the suppression comment. The analyzer list is
+// comma-separated; a reason is mandatory, matching staticcheck's
+// //lint:ignore convention.
+var ignoreRE = regexp.MustCompile(`^//lint:ignore\s+([\w,]+)\s+\S`)
+
+// suppressions maps file -> line -> set of suppressed analyzer names. A
+// suppression comment covers its own line (trailing comment) and, when the
+// comment stands alone, the line immediately below it.
+type suppressions map[string]map[int]map[string]bool
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := suppressions{}
+	add := func(file string, line int, names []string) {
+		byLine := sup[file]
+		if byLine == nil {
+			byLine = map[int]map[string]bool{}
+			sup[file] = byLine
+		}
+		set := byLine[line]
+		if set == nil {
+			set = map[string]bool{}
+			byLine[line] = set
+		}
+		for _, n := range names {
+			set[n] = true
+		}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				names := strings.Split(m[1], ",")
+				pos := fset.Position(c.Pos())
+				add(pos.Filename, pos.Line, names)
+				add(pos.Filename, pos.Line+1, names)
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) covers(d Diagnostic) bool {
+	set := s[d.Pos.Filename][d.Pos.Line]
+	return set[d.Analyzer] || set["all"]
+}
+
+// RunAnalyzers executes the analyzers over one loaded package, honoring
+// //lint:ignore suppressions, and returns the surviving diagnostics sorted
+// by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Pos.Filename != kept[j].Pos.Filename {
+			return kept[i].Pos.Filename < kept[j].Pos.Filename
+		}
+		if kept[i].Pos.Line != kept[j].Pos.Line {
+			return kept[i].Pos.Line < kept[j].Pos.Line
+		}
+		if kept[i].Pos.Column != kept[j].Pos.Column {
+			return kept[i].Pos.Column < kept[j].Pos.Column
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// isTestFile reports whether pos lies in a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIterOrder flags `range` over a map whose body has an order-dependent
+// effect: appending to a slice that outlives the loop, accumulating a
+// floating-point sum, or writing output. Go randomizes map iteration
+// order, so each of these makes the result differ run to run — exactly
+// what poisoned the provenance weight aggregation and report assembly.
+//
+// The collect-then-sort idiom is recognized: an append target that is
+// later passed to a sort.* / slices.* call inside the same function is
+// allowed, since the sort re-establishes a deterministic order. Integer
+// accumulation is allowed (commutative and associative); float
+// accumulation is not (rounding depends on order).
+var MapIterOrder = &Analyzer{
+	Name: "mapiterorder",
+	Doc: "flag order-dependent effects (append, float accumulation, " +
+		"output writes) inside range-over-map loops without a deterministic key sort",
+	Run: runMapIterOrder,
+}
+
+// outputMethodNames are receiver methods treated as externally visible
+// writes when called inside a map-range body.
+var outputMethodNames = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+}
+
+func runMapIterOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sorts := collectSortCalls(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRangeBody(pass, rs, sorts)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// sortCall records one sorting invocation — a sort.*/slices.* call or a
+// call to a function whose name starts with "sort"/"Sort" (local sorting
+// helpers) — and the rendering of its first argument.
+type sortCall struct {
+	pos token.Pos
+	arg string
+}
+
+func collectSortCalls(pass *Pass, body *ast.BlockStmt) []sortCall {
+	var out []sortCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			obj := pass.TypesInfo.Uses[fun.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if p := obj.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+		case *ast.Ident:
+			obj, isFunc := pass.TypesInfo.Uses[fun].(*types.Func)
+			if !isFunc || obj == nil ||
+				!(strings.HasPrefix(obj.Name(), "sort") || strings.HasPrefix(obj.Name(), "Sort")) {
+				return true
+			}
+		default:
+			return true
+		}
+		out = append(out, sortCall{pos: call.Pos(), arg: types.ExprString(call.Args[0])})
+		return true
+	})
+	return out
+}
+
+// declaredWithin reports whether expr is an identifier whose object is
+// declared inside the span [lo, hi] — i.e. loop-local state whose mutation
+// cannot leak iteration order.
+func declaredWithin(pass *Pass, expr ast.Expr, lo, hi token.Pos) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	return obj != nil && obj.Pos() >= lo && obj.Pos() <= hi
+}
+
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, sorts []sortCall) {
+	sortedLater := func(target string) bool {
+		for _, sc := range sorts {
+			if sc.arg == target && sc.pos > rs.Pos() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); builtin && len(n.Args) > 0 {
+					target := n.Args[0]
+					if declaredWithin(pass, target, rs.Body.Pos(), rs.Body.End()) {
+						return true
+					}
+					ts := types.ExprString(target)
+					if !sortedLater(ts) {
+						pass.Reportf(n.Pos(),
+							"append to %s inside range over map captures the random iteration order; iterate sorted keys (or sort %s afterwards)", ts, ts)
+					}
+					return true
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				obj := pass.TypesInfo.Uses[sel.Sel]
+				if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" &&
+					(strings.HasPrefix(obj.Name(), "Print") || strings.HasPrefix(obj.Name(), "Fprint")) {
+					pass.Reportf(n.Pos(),
+						"fmt.%s inside range over map emits output in random iteration order; iterate sorted keys", obj.Name())
+					return true
+				}
+				if outputMethodNames[sel.Sel.Name] {
+					if _, isSel := pass.TypesInfo.Selections[sel]; isSel {
+						pass.Reportf(n.Pos(),
+							"%s inside range over map writes in random iteration order; iterate sorted keys", types.ExprString(sel))
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			reportFloatAccum(pass, rs, n)
+		}
+		return true
+	})
+}
+
+// reportFloatAccum flags floating-point accumulation into state that
+// outlives the loop: x += e, x -= e, x *= e, x /= e, and x = x + e.
+func reportFloatAccum(pass *Pass, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 {
+		return
+	}
+	lhs := as.Lhs[0]
+	lt := pass.TypesInfo.TypeOf(lhs)
+	if lt == nil || !isFloat(lt) {
+		return
+	}
+	if declaredWithin(pass, lhs, rs.Body.Pos(), rs.Body.End()) {
+		return
+	}
+	accum := false
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		accum = true
+	case token.ASSIGN:
+		if be, ok := as.Rhs[0].(*ast.BinaryExpr); ok {
+			ls := types.ExprString(lhs)
+			if types.ExprString(be.X) == ls || types.ExprString(be.Y) == ls {
+				accum = true
+			}
+		}
+	}
+	if accum {
+		pass.Reportf(as.Pos(),
+			"floating-point accumulation into %s inside range over map rounds in random iteration order; iterate sorted keys", types.ExprString(lhs))
+	}
+}

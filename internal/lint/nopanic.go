@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic forbids panic() in library code. A panic inside the diagnosis
+// pipeline kills the whole analyzer daemon instead of failing one case;
+// library packages must return errors. Exemptions: _test.go files, and
+// Must*/must*-named helpers whose documented contract is "panics on
+// programmer error with compile-time-checkable arguments" (the usual
+// regexp.MustCompile pattern).
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "forbid panic() in library packages; return errors instead " +
+		"(Must*-named invariant helpers and tests are exempt)",
+	Run: runNoPanic,
+}
+
+func runNoPanic(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				name := fd.Name.Name
+				if strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") {
+					continue
+				}
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); !builtin {
+					return true // shadowed identifier named panic
+				}
+				pass.Reportf(call.Pos(),
+					"panic in library code; return an error (or move the invariant into a Must* helper)")
+				return true
+			})
+		}
+	}
+	return nil
+}

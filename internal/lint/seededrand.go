@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// allowedRandFuncs are the math/rand package-level constructors that build
+// an explicitly seeded generator — the only sanctioned way to obtain
+// randomness here.
+var allowedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// SeededRand forbids the process-global math/rand functions (rand.Intn,
+// rand.Float64, rand.Perm, ...). Their shared, ambient source makes output
+// depend on everything else that drew from it; two runs of the same
+// scenario would diverge. Randomness must come from an explicitly seeded
+// *rand.Rand threaded through the scenario/workload config (sim.Kernel's
+// Rand, scenario.GenerateCase's seed, ...). Methods on *rand.Rand are fine.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand functions; use an explicitly seeded " +
+		"*rand.Rand from the scenario/workload config",
+	Run: runSeededRand,
+}
+
+func runSeededRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			pkgPath := obj.Pkg().Path()
+			if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return true // types (rand.Rand, rand.Source) are fine
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // method on an explicit *rand.Rand
+			}
+			if allowedRandFuncs[fn.Name()] {
+				return true
+			}
+			short := pkgPath[strings.LastIndex(pkgPath, "/")+1:]
+			if pkgPath == "math/rand/v2" {
+				short = "rand/v2"
+			}
+			pass.Reportf(sel.Pos(),
+				"global %s.%s draws from the shared process-wide source; thread a seeded *rand.Rand from the scenario/workload config",
+				short, fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package lint
+
+import "strings"
+
+// SuiteEntry binds an analyzer to the set of packages its invariant
+// governs.
+type SuiteEntry struct {
+	Analyzer *Analyzer
+	// AppliesTo reports whether the analyzer runs on the package with the
+	// given import path (external test packages carry a ".test" suffix).
+	AppliesTo func(pkgPath string) bool
+}
+
+// Suite returns the repository's analyzer set with its package scoping,
+// for the module rooted at modulePath:
+//
+//   - nosystime: every internal simulation/diagnosis package and the root
+//     facade. internal/simtime is the sanctioned wall-clock gateway and
+//     internal/lint is host-side tooling, so both are exempt, as are the
+//     cmd/ CLIs and examples (wall-clock progress reporting is legitimate
+//     there).
+//   - seededrand, mapiterorder: everywhere — determinism is global.
+//   - nopanic: library (internal/...) packages except internal/lint's own
+//     testdata-free tooling; binaries may still crash on startup errors.
+//   - floateq: the weight/rating computations (provenance, diagnose,
+//     waitgraph, baseline, stats) where float comparisons gate results.
+func Suite(modulePath string) []SuiteEntry {
+	internal := func(path string) (string, bool) {
+		rel := strings.TrimPrefix(path, modulePath+"/internal/")
+		if rel == path {
+			return "", false
+		}
+		rel = strings.TrimSuffix(rel, ".test")
+		if i := strings.IndexByte(rel, '/'); i >= 0 {
+			rel = rel[:i]
+		}
+		return rel, true
+	}
+	return []SuiteEntry{
+		{NoSysTime, func(path string) bool {
+			if path == modulePath || path == modulePath+".test" {
+				return true
+			}
+			sub, ok := internal(path)
+			return ok && sub != "simtime" && sub != "lint"
+		}},
+		{SeededRand, func(string) bool { return true }},
+		{MapIterOrder, func(string) bool { return true }},
+		{NoPanic, func(path string) bool {
+			sub, ok := internal(path)
+			return ok && sub != "lint"
+		}},
+		{FloatEq, func(path string) bool {
+			sub, ok := internal(path)
+			switch sub {
+			case "provenance", "diagnose", "waitgraph", "baseline", "stats":
+				return ok
+			}
+			return false
+		}},
+	}
+}
+
+// Analyzers returns every analyzer in the suite, unscoped (for tests and
+// tools that want the full set).
+func Analyzers() []*Analyzer {
+	return []*Analyzer{NoSysTime, SeededRand, MapIterOrder, NoPanic, FloatEq}
+}
+
+// RunSuite loads the packages matched by patterns (tests included) and
+// runs each analyzer over the packages it applies to.
+func RunSuite(dir string, patterns []string) ([]Diagnostic, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	loader.IncludeTests = true
+	pkgs, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	suite := Suite(loader.ModulePath())
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var as []*Analyzer
+		for _, entry := range suite {
+			if entry.AppliesTo(pkg.Path) {
+				as = append(as, entry.Analyzer)
+			}
+		}
+		if len(as) == 0 {
+			continue
+		}
+		diags, err := RunAnalyzers(pkg, as)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}

@@ -1,0 +1,39 @@
+// Package a exercises the floateq analyzer: exact equality on floats is
+// flagged, ordering comparisons and integer equality are allowed.
+package a
+
+type rating struct {
+	score float64
+	count int
+}
+
+func flagged(a, b float64, r rating) bool {
+	if a == b { // want `== on floating-point values`
+		return true
+	}
+	if r.score != 0 { // want `!= on floating-point values`
+		return true
+	}
+	var f32 float32
+	return f32 == 1.5 // want `== on floating-point values`
+}
+
+func orderingIsFine(a, b float64, r rating) bool {
+	if a > b || a < b {
+		return false
+	}
+	return r.score >= 1 && r.count == 3
+}
+
+func tolerance(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+func suppressed(a float64) bool {
+	//lint:ignore floateq sentinel comparison against an exact stored value
+	return a == 1.0
+}

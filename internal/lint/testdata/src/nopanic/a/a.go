@@ -1,0 +1,67 @@
+// Package a exercises the nopanic analyzer: library panics are flagged,
+// Must*-named invariant helpers and suppressed sites are allowed.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+func library(n int) error {
+	if n < 0 {
+		panic("negative") // want `panic in library code; return an error`
+	}
+	return nil
+}
+
+func formatted(n int) {
+	if n > 10 {
+		panic(fmt.Sprintf("n too large: %d", n)) // want `panic in library code; return an error`
+	}
+}
+
+// MustParse follows the regexp.MustCompile contract: panics only on
+// programmer error with compile-time-constant arguments.
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty input")
+	}
+	return len(s)
+}
+
+// mustPositive is the unexported flavor of the same exemption.
+func mustPositive(n int) int {
+	if n <= 0 {
+		panic("not positive")
+	}
+	return n
+}
+
+// Closures inherit the enclosing Must helper's exemption.
+func MustRun(fn func() error) {
+	defer func() {
+		if err := recover(); err != nil {
+			panic(err)
+		}
+	}()
+	if err := fn(); err != nil {
+		panic(err)
+	}
+}
+
+func closureInLibrary() func() {
+	return func() {
+		panic("inside closure") // want `panic in library code; return an error`
+	}
+}
+
+// A shadowed identifier named panic is not the builtin.
+func shadowed() {
+	panic := func(v any) error { return errors.New("soft") }
+	_ = panic("fine")
+}
+
+func suppressed() {
+	//lint:ignore nopanic kernel causality invariant, documented API behavior
+	panic("scheduling in the past")
+}

@@ -1,0 +1,42 @@
+// Package a exercises the nosystime analyzer: host-clock reads are
+// flagged, simulated-time arithmetic on time.Duration is allowed, and a
+// justified //lint:ignore comment suppresses a finding.
+package a
+
+import "time"
+
+// Durations, constants and conversions are fine: simtime.Duration aliases
+// time.Duration precisely so these compose.
+const tick = 2 * time.Microsecond
+
+func allowedArithmetic(d time.Duration) time.Duration {
+	return d + tick + 5*time.Millisecond
+}
+
+func wallClockReads() {
+	start := time.Now()          // want `time\.Now reads the host clock`
+	_ = time.Since(start)        // want `time\.Since reads the host clock`
+	_ = time.Until(start)        // want `time\.Until reads the host clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the host clock`
+}
+
+func timers() {
+	<-time.After(tick)                // want `time\.After reads the host clock`
+	t := time.NewTimer(tick)          // want `time\.NewTimer reads the host clock`
+	_ = t
+	time.AfterFunc(tick, func() {})   // want `time\.AfterFunc reads the host clock`
+	_ = time.NewTicker(time.Second)   // want `time\.NewTicker reads the host clock`
+	_ = time.Tick(time.Second)        // want `time\.Tick reads the host clock`
+}
+
+// A reference without a call is still a clock dependency.
+var clock = time.Now // want `time\.Now reads the host clock`
+
+func suppressed() {
+	//lint:ignore nosystime profiling real host CPU overhead (Fig 11)
+	_ = time.Now()
+}
+
+func suppressedTrailing() {
+	_ = time.Now() //lint:ignore nosystime measuring wall time on purpose
+}

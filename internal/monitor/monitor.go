@@ -9,6 +9,7 @@
 package monitor
 
 import (
+	"sort"
 	"time"
 
 	"vedrfolnir/internal/collective"
@@ -226,11 +227,7 @@ func sortedHosts(ms map[topo.NodeID]*Monitor) []topo.NodeID {
 	for id := range ms {
 		out = append(out, id)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

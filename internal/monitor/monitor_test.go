@@ -43,7 +43,11 @@ func newRig(t *testing.T, nRanks, nExtra int) *rig {
 	rcfg.CellSize = 4096
 	hosts := map[topo.NodeID]*rdma.Host{}
 	for _, id := range append(append([]topo.NodeID{}, ranks...), extras...) {
-		hosts[id] = rdma.NewHost(k, net, id, rcfg)
+		h, err := rdma.NewHost(k, net, id, rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[id] = h
 	}
 	return &rig{k: k, tp: tp, net: net, hosts: hosts, ranks: ranks, extras: extras}
 }
@@ -56,7 +60,10 @@ func (r *rig) collective(t *testing.T, bytes int64) *collective.Runner {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := collective.NewRunner(r.k, r.hosts, schs)
+	run, err := collective.NewRunner(r.k, r.hosts, schs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	run.Bind()
 	return run
 }
@@ -145,7 +152,11 @@ func TestPerStepThresholdRecomputation(t *testing.T) {
 	hosts := map[topo.NodeID]*rdma.Host{}
 	ranks := ft.Hosts()[:8]
 	for _, id := range ranks {
-		hosts[id] = rdma.NewHost(k, net, id, rcfg)
+		h, err := rdma.NewHost(k, net, id, rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[id] = h
 	}
 	schs, err := collective.Decompose(collective.Spec{
 		Op: collective.AllGather, Alg: collective.HalvingDoubling, Ranks: ranks, Bytes: 256 * 1024,
@@ -153,7 +164,10 @@ func TestPerStepThresholdRecomputation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := collective.NewRunner(k, hosts, schs)
+	run, err := collective.NewRunner(k, hosts, schs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	run.Bind()
 	cfg := monCfg()
 	sys := NewSystem(k, net, run, hosts, cfg)

@@ -321,18 +321,15 @@ func (g *Graph) Contenders() []fabric.FlowKey {
 	reach := map[topo.PortID]bool{}
 	var stack []topo.PortID
 	for _, p := range g.Ports() {
-		for f := range g.flowPkts[p] {
-			if g.cf[f] {
-				reach[p] = true
-				stack = append(stack, p)
-				break
-			}
+		if g.hasCFAt(p) {
+			reach[p] = true
+			stack = append(stack, p)
 		}
 	}
 	// Expand across PFC edges in both directions.
 	rev := map[topo.PortID][]topo.PortID{}
-	for pi, outs := range g.pfcOut {
-		for pj := range outs {
+	for _, pi := range g.PFCUpstreams() {
+		for _, pj := range g.PFCOut(pi) {
 			rev[pj] = append(rev[pj], pi)
 		}
 	}
@@ -361,6 +358,16 @@ func (g *Graph) Contenders() []fabric.FlowKey {
 	}
 	sort.Slice(out, func(i, j int) bool { return flowLess(out[i], out[j]) })
 	return out
+}
+
+// hasCFAt reports whether any collective flow was observed at p.
+func (g *Graph) hasCFAt(p topo.PortID) bool {
+	for f := range g.flowPkts[p] {
+		if g.cf[f] {
+			return true
+		}
+	}
+	return false
 }
 
 // CFs returns the collective flows, deterministically ordered.

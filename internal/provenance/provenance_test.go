@@ -38,6 +38,21 @@ func buildContention() *Graph {
 	return Build([]*telemetry.Report{contentionReport()}, map[fabric.FlowKey]bool{cfKey: true})
 }
 
+// approx compares a computed float weight against its expected value with a
+// relative tolerance: the weights are sums whose rounding depends on
+// accumulation order, so tests must not rely on exact equality.
+func approx(got, want float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	eps := 1e-9 * math.Abs(want)
+	if eps < 1e-9 {
+		eps = 1e-9
+	}
+	return d <= eps
+}
+
 func TestEdgeWeights(t *testing.T) {
 	g := buildContention()
 	if w := g.WFlowPort(cfKey, p1); w != 100 {
@@ -47,17 +62,17 @@ func TestEdgeWeights(t *testing.T) {
 		t.Fatalf("missing e(f,p) edges")
 	}
 	// w(p1, cf) = 60000/100000 × 10000 = 6000.
-	if w := g.WPortFlow(p1, cfKey); w != 6000 {
+	if w := g.WPortFlow(p1, cfKey); !approx(w, 6000) {
 		t.Fatalf("w(p1,cf) = %v, want 6000", w)
 	}
-	if w := g.WPortFlow(p1, bfKey); w != 4000 {
+	if w := g.WPortFlow(p1, bfKey); !approx(w, 4000) {
 		t.Fatalf("w(p1,bf) = %v, want 4000", w)
 	}
 }
 
 func TestRateFlowPortNoPFC(t *testing.T) {
 	g := buildContention()
-	if r := g.RateFlowPort(bfKey, p1); r != 4000 {
+	if r := g.RateFlowPort(bfKey, p1); !approx(r, 4000) {
 		t.Fatalf("R(bf,p1) = %v, want w(p1,bf)=4000", r)
 	}
 }
@@ -66,7 +81,7 @@ func TestRateFlowCFDirectContention(t *testing.T) {
 	g := buildContention()
 	// Eq 2 at p1: e(bf,p1) ∈ E so the direct pair wait w(cf,bf)=100
 	// replaces w(p1,bf)=4000 inside R: 4000 + (100 - 4000) = 100.
-	if r := g.RateFlowCF(bfKey, cfKey); r != 100 {
+	if r := g.RateFlowCF(bfKey, cfKey); !approx(r, 100) {
 		t.Fatalf("R(bf,cf) = %v, want 100", r)
 	}
 }
@@ -99,20 +114,20 @@ func TestPFCEdgeAndEq1Recursion(t *testing.T) {
 	if len(out) != 1 || out[0] != p2 {
 		t.Fatalf("PFCOut(up1) = %v, want [p2]", out)
 	}
-	if w := g.WPortPort(up1, p2); w != 0.5 {
+	if w := g.WPortPort(up1, p2); !approx(w, 0.5) {
 		t.Fatalf("w(up1,p2) = %v, want 0.5", w)
 	}
 	// R(bf, p2) = w(p2,bf) = 8000 (bf is all of p2's traffic).
-	if r := g.RateFlowPort(bfKey, p2); r != 8000 {
+	if r := g.RateFlowPort(bfKey, p2); !approx(r, 8000) {
 		t.Fatalf("R(bf,p2) = %v, want 8000", r)
 	}
 	// R(bf, up1) = w(up1,bf)=0 + R(bf,p2)×w(up1,p2) = 4000.
-	if r := g.RateFlowPort(bfKey, up1); r != 4000 {
+	if r := g.RateFlowPort(bfKey, up1); !approx(r, 4000) {
 		t.Fatalf("R(bf,up1) = %v, want 4000", r)
 	}
 	// Eq 2: cf waits only at up1, where bf has no e(bf,up1) edge →
 	// R(bf,cf) = R(bf,up1) = 4000.
-	if r := g.RateFlowCF(bfKey, cfKey); r != 4000 {
+	if r := g.RateFlowCF(bfKey, cfKey); !approx(r, 4000) {
 		t.Fatalf("R(bf,cf) = %v, want 4000", r)
 	}
 }
@@ -164,7 +179,7 @@ func TestAggregationAcrossReports(t *testing.T) {
 		t.Fatalf("aggregated w(cf,p1) = %d, want 200", w)
 	}
 	// Ratios are scale-invariant: w(p1,cf) unchanged.
-	if w := g.WPortFlow(p1, cfKey); w != 6000 {
+	if w := g.WPortFlow(p1, cfKey); !approx(w, 6000) {
 		t.Fatalf("aggregated w(p1,cf) = %v, want 6000", w)
 	}
 }
@@ -174,7 +189,7 @@ func TestEmptyGraph(t *testing.T) {
 	if len(g.Ports()) != 0 || len(g.Contenders()) != 0 || len(g.CFs()) != 0 {
 		t.Fatalf("empty graph not empty")
 	}
-	if r := g.RateFlowPort(bfKey, p1); r != 0 {
+	if r := g.RateFlowPort(bfKey, p1); !approx(r, 0) {
 		t.Fatalf("rating on empty graph = %v", r)
 	}
 }

@@ -148,10 +148,11 @@ type recvState struct {
 	lastCNP simtime.Time
 }
 
-// NewHost creates a host NIC and attaches it to the network.
-func NewHost(k *sim.Kernel, net *fabric.Network, id topo.NodeID, cfg Config) *Host {
+// NewHost creates a host NIC and attaches it to the network. It fails on an
+// invalid configuration or when id is not a host node of the topology.
+func NewHost(k *sim.Kernel, net *fabric.Network, id topo.NodeID, cfg Config) (*Host, error) {
 	if cfg.CellSize <= 0 {
-		panic("rdma: CellSize must be positive")
+		return nil, fmt.Errorf("rdma: CellSize must be positive, got %d", cfg.CellSize)
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 1
@@ -166,21 +167,24 @@ func NewHost(k *sim.Kernel, net *fabric.Network, id topo.NodeID, cfg Config) *Ho
 		sends:    make(map[fabric.FlowKey]*sendState),
 		recvs:    make(map[fabric.FlowKey]*recvState),
 	}
-	net.Attach(id, h)
-	return h
+	if err := net.Attach(id, h); err != nil {
+		return nil, err
+	}
+	return h, nil
 }
 
 // LineRate returns the host uplink bandwidth.
 func (h *Host) LineRate() simtime.Rate { return h.lineRate }
 
 // Send begins transmitting a message of size bytes on the given flow. RDMA
-// has no slow start: the flow begins at line rate.
-func (h *Host) Send(flow fabric.FlowKey, size int64) {
+// has no slow start: the flow begins at line rate. It fails if the flow does
+// not originate here or is already in flight.
+func (h *Host) Send(flow fabric.FlowKey, size int64) error {
 	if flow.Src != h.ID {
-		panic(fmt.Sprintf("rdma: flow source %d is not host %d", flow.Src, h.ID))
+		return fmt.Errorf("rdma: flow source %d is not host %d", flow.Src, h.ID)
 	}
 	if _, dup := h.sends[flow]; dup {
-		panic(fmt.Sprintf("rdma: duplicate send on flow %v", flow))
+		return fmt.Errorf("rdma: duplicate send on flow %v", flow)
 	}
 	cells := size / int64(h.Cfg.CellSize)
 	last := int(size % int64(h.Cfg.CellSize))
@@ -203,6 +207,7 @@ func (h *Host) Send(flow fabric.FlowKey, size int64) {
 	}
 	h.sends[flow] = st
 	h.pump(st)
+	return nil
 }
 
 // ActiveSends returns the number of in-progress outbound messages.

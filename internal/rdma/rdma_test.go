@@ -34,7 +34,11 @@ func newRig(t *testing.T, n int, rcfg Config, fcfg fabric.Config) *rig {
 	net := fabric.NewNetwork(k, tp, fcfg)
 	r := &rig{k: k, tp: tp, net: net}
 	for _, id := range ids {
-		r.hosts = append(r.hosts, NewHost(k, net, id, rcfg))
+		h, err := NewHost(k, net, id, rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.hosts = append(r.hosts, h)
 	}
 	return r
 }
@@ -184,22 +188,16 @@ func TestConcurrentFlowsComplete(t *testing.T) {
 func TestSendValidation(t *testing.T) {
 	r := newRig(t, 2, DefaultConfig(), fabric.DefaultConfig())
 	h0, h1 := r.hosts[0], r.hosts[1]
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("expected panic for wrong source")
-			}
-		}()
-		h0.Send(fk(h1.ID, h0.ID, 1), 100)
-	}()
+	if err := h0.Send(fk(h1.ID, h0.ID, 1), 100); err == nil {
+		t.Errorf("expected error for wrong source")
+	}
 	f := fk(h0.ID, h1.ID, 2)
-	h0.Send(f, 100)
-	defer func() {
-		if recover() == nil {
-			t.Errorf("expected panic for duplicate flow")
-		}
-	}()
-	h0.Send(f, 100)
+	if err := h0.Send(f, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := h0.Send(f, 100); err == nil {
+		t.Errorf("expected error for duplicate flow")
+	}
 }
 
 func TestTinyMessage(t *testing.T) {

@@ -107,8 +107,14 @@ func TestReplayMatchesOnlineAccumulators(t *testing.T) {
 
 	rcfg := rdma.DefaultConfig()
 	rcfg.CellSize = 4096
-	a := rdma.NewHost(k, net, h0, rcfg)
-	b := rdma.NewHost(k, net, h1, rcfg)
+	a, err := rdma.NewHost(k, net, h0, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rdma.NewHost(k, net, h1, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rdma.NewHost(k, net, h2, rcfg)
 
 	fa, fb := mkFlow(h0, h2, 100), mkFlow(h1, h2, 200)

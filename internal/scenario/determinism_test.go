@@ -1,0 +1,39 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"vedrfolnir/internal/wire"
+)
+
+// TestSerializedOutputDeterminism is the regression gate behind the
+// mapiterorder invariant: two runs of the same seeded case must produce
+// byte-identical serialized bundles and diagnosis summaries. Unsorted map
+// iteration anywhere on the record/report/diagnosis path shows up here as a
+// flaky byte diff, which is exactly how the bugs this PR fixed (waitgraph
+// vertex order, provenance traversal order, runner start order) would have
+// been caught.
+func TestSerializedOutputDeterminism(t *testing.T) {
+	cfg := testConfig()
+	for _, kind := range []AnomalyKind{Contention, Incast, PFCStorm, PFCBackpressure} {
+		serialize := func() ([]byte, string) {
+			cs := mustCase(t, kind, 17, cfg)
+			res := mustRun(t, cs, Vedrfolnir, cfg, DefaultRunOptions(cfg))
+			var buf bytes.Buffer
+			if err := wire.NewBundle(res.Records, res.Reports, res.CFs).Write(&buf); err != nil {
+				t.Fatalf("%v: serializing bundle: %v", kind, err)
+			}
+			return buf.Bytes(), res.Diag.Summary()
+		}
+		bundleA, summaryA := serialize()
+		bundleB, summaryB := serialize()
+		if !bytes.Equal(bundleA, bundleB) {
+			t.Errorf("%v: serialized bundles differ across identical-seed runs (%d vs %d bytes)",
+				kind, len(bundleA), len(bundleB))
+		}
+		if summaryA != summaryB {
+			t.Errorf("%v: diagnosis summaries differ:\n%s\n---\n%s", kind, summaryA, summaryB)
+		}
+	}
+}

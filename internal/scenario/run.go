@@ -102,8 +102,11 @@ func DefaultRunOptions(cfg Config) RunOptions {
 }
 
 // Run executes one case under one diagnosis system and evaluates the
-// outcome against the case's ground truth.
-func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) Result {
+// outcome against the case's ground truth. It returns an error for
+// construction failures (bad collective spec, invalid host config, bad
+// injection point); a case that merely hits the deadline still returns a
+// Result with Completed=false.
+func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) (Result, error) {
 	ft := topo.PaperFatTree()
 	k := sim.New(cs.Seed*1000003 + int64(cs.Kind))
 	k.SetEventLimit(500_000_000)
@@ -122,7 +125,11 @@ func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) Result {
 	rcfg.RateIncTimer = scaleDur(55*time.Microsecond*90, cfg.Scale)
 	hosts := make(map[topo.NodeID]*rdma.Host)
 	for _, id := range ft.Hosts() {
-		hosts[id] = rdma.NewHost(k, net, id, rcfg)
+		h, err := rdma.NewHost(k, net, id, rcfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("scenario: %w", err)
+		}
+		hosts[id] = h
 	}
 	ranks := ft.Hosts()[:cfg.Ranks]
 
@@ -130,9 +137,12 @@ func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) Result {
 		Op: cfg.Op, Alg: cfg.Alg, Ranks: ranks, Bytes: cfg.StepBytes * int64(cfg.Ranks),
 	})
 	if err != nil {
-		panic(fmt.Sprintf("scenario: %v", err))
+		return Result{}, fmt.Errorf("scenario: %w", err)
 	}
-	run := collective.NewRunner(k, hosts, schedules)
+	run, err := collective.NewRunner(k, hosts, schedules)
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario: %w", err)
+	}
 	run.Bind()
 
 	cfs := make(map[fabric.FlowKey]bool)
@@ -171,15 +181,22 @@ func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) Result {
 		totals = func() telemetry.Overhead { return fp.Col.Totals }
 	}
 
-	// Inject the anomaly.
+	// Inject the anomaly. Send failures inside event callbacks cannot be
+	// returned from there; the first one is captured and surfaced after the
+	// run.
+	var injErr error
 	for _, inj := range cs.Flows {
 		inj := inj
 		k.At(inj.StartAt, func() {
-			hosts[inj.Key.Src].Send(inj.Key, inj.Bytes)
+			if err := hosts[inj.Key.Src].Send(inj.Key, inj.Bytes); err != nil && injErr == nil {
+				injErr = err
+			}
 		})
 	}
 	if cs.Kind == PFCStorm {
-		net.InjectPFCStorm(cs.StormSwitch, cs.StormPort, cs.StormStart, cs.StormDur)
+		if err := net.InjectPFCStorm(cs.StormSwitch, cs.StormPort, cs.StormStart, cs.StormDur); err != nil {
+			return Result{}, fmt.Errorf("scenario: %w", err)
+		}
 	}
 	if cs.Kind == LoadImbalance {
 		for _, dst := range cs.PinnedDsts {
@@ -215,6 +232,12 @@ func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) Result {
 	}
 	run.Start()
 	k.Run(simtime.Time(cfg.Deadline))
+	if injErr != nil {
+		return Result{}, fmt.Errorf("scenario: injecting background flow: %w", injErr)
+	}
+	if err := run.Err(); err != nil {
+		return Result{}, fmt.Errorf("scenario: %w", err)
+	}
 	completed, _ := run.Done()
 
 	// Diagnose.
@@ -243,7 +266,7 @@ func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) Result {
 		CFs:            cfs,
 	}
 	res.Outcome = Evaluate(cs, diag)
-	return res
+	return res, nil
 }
 
 // Evaluate applies the paper's per-scenario TP/FP/FN criteria to a

@@ -223,8 +223,9 @@ func bgKey(src, dst topo.NodeID, i int) fabric.FlowKey {
 
 // GenerateCase builds one anomaly case with ground truth, deterministically
 // from its seed. The construction follows §IV-A: flows are placed randomly
-// but deliberately made to collide with the collective.
-func GenerateCase(kind AnomalyKind, seed int64, cfg Config) Case {
+// but deliberately made to collide with the collective. It fails only when
+// the configured collective cannot be decomposed.
+func GenerateCase(kind AnomalyKind, seed int64, cfg Config) (Case, error) {
 	rng := rand.New(rand.NewSource(seed))
 	ft := topo.PaperFatTree()
 	ranks := ft.Hosts()[:cfg.Ranks]
@@ -274,7 +275,7 @@ func GenerateCase(kind AnomalyKind, seed int64, cfg Config) Case {
 			Op: cfg.Op, Alg: cfg.Alg, Ranks: ranks, Bytes: cfg.StepBytes * int64(cfg.Ranks),
 		})
 		if err != nil {
-			panic(err)
+			return Case{}, fmt.Errorf("scenario: %w", err)
 		}
 		sch := schedules[rng.Intn(4)] // "the paths of 4 collective communication flows"
 		step := rng.Intn(len(sch.Steps))
@@ -379,7 +380,7 @@ func GenerateCase(kind AnomalyKind, seed int64, cfg Config) Case {
 			})
 		}
 	}
-	return cs
+	return cs, nil
 }
 
 // ranksAndExtras picks a random source host that is not the victim.

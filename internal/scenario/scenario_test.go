@@ -9,11 +9,31 @@ import (
 	"vedrfolnir/internal/topo"
 )
 
+// mustCase and mustRun adapt the error-returning scenario API for tests
+// whose fixtures are known-valid.
+func mustCase(t *testing.T, kind AnomalyKind, seed int64, cfg Config) Case {
+	t.Helper()
+	cs, err := GenerateCase(kind, seed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func mustRun(t *testing.T, cs Case, sys SystemKind, cfg Config, opts RunOptions) Result {
+	t.Helper()
+	res, err := Run(cs, sys, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestGenerateDeterminism(t *testing.T) {
 	cfg := DefaultConfig()
 	for _, kind := range []AnomalyKind{Contention, Incast, PFCStorm, PFCBackpressure} {
-		a := GenerateCase(kind, 42, cfg)
-		b := GenerateCase(kind, 42, cfg)
+		a := mustCase(t, kind, 42, cfg)
+		b := mustCase(t, kind, 42, cfg)
 		if len(a.Flows) != len(b.Flows) {
 			t.Fatalf("%v: nondeterministic flow count", kind)
 		}
@@ -31,7 +51,7 @@ func TestGenerateDeterminism(t *testing.T) {
 func TestGenerateContentionBounds(t *testing.T) {
 	cfg := DefaultConfig()
 	for seed := int64(0); seed < 30; seed++ {
-		cs := GenerateCase(Contention, seed, cfg)
+		cs := mustCase(t, Contention, seed, cfg)
 		if len(cs.Flows) < 1 || len(cs.Flows) > 6 {
 			t.Fatalf("seed %d: %d flows, want 1-6", seed, len(cs.Flows))
 		}
@@ -47,7 +67,7 @@ func TestGenerateContentionBounds(t *testing.T) {
 func TestGenerateIncastSharedTarget(t *testing.T) {
 	cfg := DefaultConfig()
 	for seed := int64(0); seed < 20; seed++ {
-		cs := GenerateCase(Incast, seed, cfg)
+		cs := mustCase(t, Incast, seed, cfg)
 		if len(cs.Flows) < 3 || len(cs.Flows) > 8 {
 			t.Fatalf("seed %d: %d flows, want 3-8", seed, len(cs.Flows))
 		}
@@ -68,7 +88,7 @@ func TestGenerateStormOnSwitch(t *testing.T) {
 	cfg := DefaultConfig()
 	ft := topo.PaperFatTree()
 	for seed := int64(0); seed < 20; seed++ {
-		cs := GenerateCase(PFCStorm, seed, cfg)
+		cs := mustCase(t, PFCStorm, seed, cfg)
 		if ft.Node(cs.StormSwitch).Kind != topo.KindSwitch {
 			t.Fatalf("seed %d: storm injection point is not a switch", seed)
 		}
@@ -80,7 +100,7 @@ func TestGenerateStormOnSwitch(t *testing.T) {
 
 func TestRunCleanCase(t *testing.T) {
 	cfg := testConfig()
-	res := Run(GenerateCase(Clean, 1, cfg), Vedrfolnir, cfg, DefaultRunOptions(cfg))
+	res := mustRun(t, mustCase(t, Clean, 1, cfg), Vedrfolnir, cfg, DefaultRunOptions(cfg))
 	if !res.Completed {
 		t.Fatal("clean collective did not complete")
 	}
@@ -112,7 +132,7 @@ func TestRunContentionVedrfolnir(t *testing.T) {
 	cfg := testConfig()
 	found := 0
 	for seed := int64(0); seed < 5; seed++ {
-		res := Run(GenerateCase(Contention, seed, cfg), Vedrfolnir, cfg, DefaultRunOptions(cfg))
+		res := mustRun(t, mustCase(t, Contention, seed, cfg), Vedrfolnir, cfg, DefaultRunOptions(cfg))
 		if !res.Completed {
 			t.Fatalf("seed %d: incomplete", seed)
 		}
@@ -132,7 +152,7 @@ func TestRunStormVedrfolnir(t *testing.T) {
 	cfg := testConfig()
 	tps := 0
 	for seed := int64(0); seed < 5; seed++ {
-		res := Run(GenerateCase(PFCStorm, seed, cfg), Vedrfolnir, cfg, DefaultRunOptions(cfg))
+		res := mustRun(t, mustCase(t, PFCStorm, seed, cfg), Vedrfolnir, cfg, DefaultRunOptions(cfg))
 		if !res.Completed {
 			t.Fatalf("seed %d: incomplete", seed)
 		}
@@ -149,7 +169,7 @@ func TestRunBackpressureVedrfolnir(t *testing.T) {
 	cfg := testConfig()
 	tps, fns := 0, 0
 	for seed := int64(0); seed < 6; seed++ {
-		res := Run(GenerateCase(PFCBackpressure, seed, cfg), Vedrfolnir, cfg, DefaultRunOptions(cfg))
+		res := mustRun(t, mustCase(t, PFCBackpressure, seed, cfg), Vedrfolnir, cfg, DefaultRunOptions(cfg))
 		if !res.Completed {
 			t.Fatalf("seed %d: incomplete", seed)
 		}
@@ -167,9 +187,9 @@ func TestRunBackpressureVedrfolnir(t *testing.T) {
 
 func TestRunIncastAllSystems(t *testing.T) {
 	cfg := testConfig()
-	cs := GenerateCase(Incast, 3, cfg)
+	cs := mustCase(t, Incast, 3, cfg)
 	for _, sysk := range []SystemKind{Vedrfolnir, HawkeyeMaxR, HawkeyeMinR, FullPolling} {
-		res := Run(cs, sysk, cfg, DefaultRunOptions(cfg))
+		res := mustRun(t, cs, sysk, cfg, DefaultRunOptions(cfg))
 		if !res.Completed {
 			t.Fatalf("%v: incomplete", sysk)
 		}
@@ -183,10 +203,10 @@ func TestOverheadOrdering(t *testing.T) {
 	// The paper's headline: Vedrfolnir's telemetry volume is far below
 	// Hawkeye-MinR's and full polling's on the same anomaly.
 	cfg := testConfig()
-	cs := GenerateCase(Contention, 7, cfg)
-	ved := Run(cs, Vedrfolnir, cfg, DefaultRunOptions(cfg))
-	minr := Run(cs, HawkeyeMinR, cfg, DefaultRunOptions(cfg))
-	full := Run(cs, FullPolling, cfg, DefaultRunOptions(cfg))
+	cs := mustCase(t, Contention, 7, cfg)
+	ved := mustRun(t, cs, Vedrfolnir, cfg, DefaultRunOptions(cfg))
+	minr := mustRun(t, cs, HawkeyeMinR, cfg, DefaultRunOptions(cfg))
+	full := mustRun(t, cs, FullPolling, cfg, DefaultRunOptions(cfg))
 	if ved.Overhead.TelemetryBytes >= minr.Overhead.TelemetryBytes {
 		t.Fatalf("vedrfolnir %dB >= hawkeye-minr %dB",
 			ved.Overhead.TelemetryBytes, minr.Overhead.TelemetryBytes)
@@ -247,7 +267,7 @@ func TestRunLoopVedrfolnir(t *testing.T) {
 	cfg := testConfig()
 	tps := 0
 	for seed := int64(0); seed < 5; seed++ {
-		res := Run(GenerateCase(Loop, seed, cfg), Vedrfolnir, cfg, DefaultRunOptions(cfg))
+		res := mustRun(t, mustCase(t, Loop, seed, cfg), Vedrfolnir, cfg, DefaultRunOptions(cfg))
 		if res.Outcome == TP {
 			tps++
 		}
@@ -261,7 +281,7 @@ func TestGenerateLoopGroundTruth(t *testing.T) {
 	cfg := DefaultConfig()
 	ft := topo.PaperFatTree()
 	for seed := int64(0); seed < 10; seed++ {
-		cs := GenerateCase(Loop, seed, cfg)
+		cs := mustCase(t, Loop, seed, cfg)
 		for _, sw := range cs.LoopSwitches {
 			if ft.Node(sw).Kind != topo.KindSwitch {
 				t.Fatalf("seed %d: loop node %d is not a switch", seed, sw)
@@ -285,8 +305,8 @@ func TestRunLoadImbalanceVedrfolnir(t *testing.T) {
 	cfg := testConfig()
 	tps, fns := 0, 0
 	for seed := int64(0); seed < 5; seed++ {
-		cs := GenerateCase(LoadImbalance, seed, cfg)
-		res := Run(cs, Vedrfolnir, cfg, DefaultRunOptions(cfg))
+		cs := mustCase(t, LoadImbalance, seed, cfg)
+		res := mustRun(t, cs, Vedrfolnir, cfg, DefaultRunOptions(cfg))
 		if !res.Completed {
 			t.Fatalf("seed %d: incomplete", seed)
 		}
@@ -321,9 +341,9 @@ func TestWholePipelineDeterminism(t *testing.T) {
 	// same system yields the same diagnosis, overhead, and timings.
 	cfg := testConfig()
 	for _, kind := range []AnomalyKind{Contention, PFCStorm, PFCBackpressure} {
-		cs := GenerateCase(kind, 11, cfg)
-		a := Run(cs, Vedrfolnir, cfg, DefaultRunOptions(cfg))
-		b := Run(cs, Vedrfolnir, cfg, DefaultRunOptions(cfg))
+		cs := mustCase(t, kind, 11, cfg)
+		a := mustRun(t, cs, Vedrfolnir, cfg, DefaultRunOptions(cfg))
+		b := mustRun(t, cs, Vedrfolnir, cfg, DefaultRunOptions(cfg))
 		if a.Outcome != b.Outcome {
 			t.Fatalf("%v: outcomes differ", kind)
 		}
@@ -343,7 +363,7 @@ func TestCCSwiftScenario(t *testing.T) {
 	// The whole pipeline also works under the Swift controller.
 	cfg := testConfig()
 	cfg.CC = rdma.CCSwift
-	res := Run(GenerateCase(Contention, 2, cfg), Vedrfolnir, cfg, DefaultRunOptions(cfg))
+	res := mustRun(t, mustCase(t, Contention, 2, cfg), Vedrfolnir, cfg, DefaultRunOptions(cfg))
 	if !res.Completed {
 		t.Fatal("swift-run collective incomplete")
 	}

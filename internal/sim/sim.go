@@ -46,6 +46,7 @@ func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
 // programming error and panics, since it would silently reorder causality.
 func (k *Kernel) At(at simtime.Time, fn func()) *eventq.Event {
 	if at < k.now {
+		//lint:ignore nopanic causality invariant: a past-dated event would silently reorder the run; documented API contract
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, k.now))
 	}
 	return k.q.Push(at, fn)
@@ -79,6 +80,7 @@ func (k *Kernel) Run(until simtime.Time) simtime.Time {
 		k.now = e.At
 		k.events++
 		if k.limit > 0 && k.events > k.limit {
+			//lint:ignore nopanic event-storm guard documented on SetEventLimit; aborting the run is its contract
 			panic(fmt.Sprintf("sim: event limit %d exceeded at %v", k.limit, k.now))
 		}
 		if e.Fn != nil {

@@ -37,7 +37,11 @@ func newStarRig(t *testing.T, n int, fcfg fabric.Config) *rig {
 	cfg := rdma.DefaultConfig()
 	cfg.CellSize = 4096
 	for _, id := range ids {
-		r.hosts[id] = rdma.NewHost(k, net, id, cfg)
+		h, err := rdma.NewHost(k, net, id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.hosts[id] = h
 	}
 	r.col = NewCollector(net)
 	return r
@@ -148,7 +152,10 @@ func TestPFCSpreadingTrace(t *testing.T) {
 	net := fabric.NewNetwork(k, tp, fabric.DefaultConfig())
 	cfg := rdma.DefaultConfig()
 	cfg.CellSize = 4096
-	hh0 := rdma.NewHost(k, net, h0, cfg)
+	hh0, err := rdma.NewHost(k, net, h0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rdma.NewHost(k, net, h1, cfg)
 
 	// s1 port 0 is its ingress from s0; storm there pauses s0's egress.

@@ -30,10 +30,11 @@ type FatTree struct {
 	HostsByEdge [][][]NodeID
 }
 
-// NewFatTree builds a k-ary fat-tree and computes its routes.
-func NewFatTree(cfg FatTreeConfig) *FatTree {
+// NewFatTree builds a k-ary fat-tree and computes its routes. K must be
+// even and at least 2.
+func NewFatTree(cfg FatTreeConfig) (*FatTree, error) {
 	if cfg.K < 2 || cfg.K%2 != 0 {
-		panic(fmt.Sprintf("topo: fat-tree K must be even and >= 2, got %d", cfg.K))
+		return nil, fmt.Errorf("topo: fat-tree K must be even and >= 2, got %d", cfg.K)
 	}
 	k := cfg.K
 	half := k / 2
@@ -89,13 +90,23 @@ func NewFatTree(cfg FatTreeConfig) *FatTree {
 	}
 
 	ft.ComputeRoutes()
+	return ft, nil
+}
+
+// MustFatTree is NewFatTree for compile-time-constant configurations,
+// following the regexp.MustCompile contract: it panics if cfg is invalid.
+func MustFatTree(cfg FatTreeConfig) *FatTree {
+	ft, err := NewFatTree(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return ft
 }
 
 // PaperFatTree returns the evaluation topology of §IV-A: K=4, 100 Gbps
 // links, 2 µs link delay (20 switches, 16 hosts).
 func PaperFatTree() *FatTree {
-	return NewFatTree(FatTreeConfig{
+	return MustFatTree(FatTreeConfig{
 		K:         4,
 		Bandwidth: 100 * simtime.Gbps,
 		Delay:     2 * time.Microsecond,

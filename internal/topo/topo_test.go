@@ -222,12 +222,12 @@ func TestSelfLinkPanics(t *testing.T) {
 }
 
 func TestFatTreeConfigValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("expected panic for odd K")
-		}
-	}()
-	NewFatTree(FatTreeConfig{K: 3, Bandwidth: simtime.Gbps, Delay: 0})
+	if _, err := NewFatTree(FatTreeConfig{K: 3, Bandwidth: simtime.Gbps, Delay: 0}); err == nil {
+		t.Fatalf("expected error for odd K")
+	}
+	if _, err := NewFatTree(FatTreeConfig{K: 0, Bandwidth: simtime.Gbps, Delay: 0}); err == nil {
+		t.Fatalf("expected error for zero K")
+	}
 }
 
 func TestEstimateFCTBottleneck(t *testing.T) {
@@ -249,7 +249,10 @@ func TestEstimateFCTBottleneck(t *testing.T) {
 }
 
 func TestFatTreeK6(t *testing.T) {
-	ft := NewFatTree(FatTreeConfig{K: 6, Bandwidth: 100 * simtime.Gbps, Delay: time.Microsecond})
+	ft, err := NewFatTree(FatTreeConfig{K: 6, Bandwidth: 100 * simtime.Gbps, Delay: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// K=6: 9 cores + 6 pods × (3 agg + 3 edge) = 45 switches, 54 hosts.
 	if got := len(ft.Switches()); got != 45 {
 		t.Fatalf("switches = %d, want 45", got)

@@ -145,21 +145,41 @@ func (g *Graph) addEdge(e Edge) {
 	g.in[e.To]++
 }
 
-// Vertices returns all vertices (order unspecified).
+func vertexLess(a, b Vertex) bool {
+	if a.Host != b.Host {
+		return a.Host < b.Host
+	}
+	if a.Step != b.Step {
+		return a.Step < b.Step
+	}
+	return a.Kind < b.Kind
+}
+
+// Vertices returns all vertices in deterministic (host, step, kind) order.
 func (g *Graph) Vertices() []Vertex {
 	out := make([]Vertex, 0, len(g.verts))
 	for v := range g.verts {
 		out = append(out, v)
 	}
+	sort.Slice(out, func(i, j int) bool { return vertexLess(out[i], out[j]) })
 	return out
 }
 
-// Edges returns all edges (order unspecified).
+// Edges returns all edges in deterministic (from, to, kind) order.
 func (g *Graph) Edges() []Edge {
 	var out []Edge
-	for _, es := range g.out {
-		out = append(out, es...)
+	for _, v := range g.Vertices() {
+		out = append(out, g.out[v]...)
 	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return vertexLess(out[i].From, out[j].From)
+		}
+		if out[i].To != out[j].To {
+			return vertexLess(out[i].To, out[j].To)
+		}
+		return out[i].Kind < out[j].Kind
+	})
 	return out
 }
 
@@ -206,6 +226,7 @@ func (g *Graph) Prune() int {
 				dead = append(dead, v)
 			}
 		}
+		sort.Slice(dead, func(i, j int) bool { return vertexLess(dead[i], dead[j]) })
 		if len(dead) == 0 {
 			return removed
 		}

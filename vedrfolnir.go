@@ -160,17 +160,21 @@ type Session struct {
 	cfs    map[fabric.FlowKey]bool
 
 	injected int
+	injErr   error
 	ran      bool
 }
 
 // NewSession builds the cluster and decomposes the collective.
 func NewSession(opts Options) (*Session, error) {
 	opts.fill()
-	ft := topo.NewFatTree(topo.FatTreeConfig{
+	ft, err := topo.NewFatTree(topo.FatTreeConfig{
 		K:         opts.FatTreeK,
 		Bandwidth: opts.Bandwidth,
 		Delay:     opts.LinkDelay,
 	})
+	if err != nil {
+		return nil, err
+	}
 	if opts.Ranks < 2 || opts.Ranks > len(ft.Hosts()) {
 		return nil, fmt.Errorf("vedrfolnir: ranks %d outside [2, %d]", opts.Ranks, len(ft.Hosts()))
 	}
@@ -182,7 +186,11 @@ func NewSession(opts Options) (*Session, error) {
 	rcfg.CellSize = opts.CellSize
 	hosts := make(map[topo.NodeID]*rdma.Host)
 	for _, id := range ft.Hosts() {
-		hosts[id] = rdma.NewHost(k, net, id, rcfg)
+		h, err := rdma.NewHost(k, net, id, rcfg)
+		if err != nil {
+			return nil, err
+		}
+		hosts[id] = h
 	}
 
 	ranks := ft.Hosts()[:opts.Ranks]
@@ -195,7 +203,10 @@ func NewSession(opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	runner := collective.NewRunner(k, hosts, schedules)
+	runner, err := collective.NewRunner(k, hosts, schedules)
+	if err != nil {
+		return nil, err
+	}
 	runner.Bind()
 
 	cfs := make(map[fabric.FlowKey]bool)
@@ -236,15 +247,18 @@ func (s *Session) InjectFlow(src, dst NodeID, bytes int64, at time.Duration) Flo
 		Proto:   17,
 	}
 	s.kernel.At(simtime.Time(at), func() {
-		s.hosts[src].Send(key, bytes)
+		if err := s.hosts[src].Send(key, bytes); err != nil && s.injErr == nil {
+			s.injErr = err
+		}
 	})
 	return key
 }
 
 // InjectPFCStorm makes the given switch ingress port continuously assert
-// PAUSE toward its upstream between start and start+duration.
-func (s *Session) InjectPFCStorm(sw NodeID, port int, start, duration time.Duration) {
-	s.net.InjectPFCStorm(sw, port, simtime.Time(start), duration)
+// PAUSE toward its upstream between start and start+duration. The injection
+// point must be one of Switches().
+func (s *Session) InjectPFCStorm(sw NodeID, port int, start, duration time.Duration) error {
+	return s.net.InjectPFCStorm(sw, port, simtime.Time(start), duration)
 }
 
 // PinRoute overrides the ECMP next-hop set at a switch toward a destination
@@ -294,6 +308,12 @@ func (s *Session) Run() (*Report, error) {
 	}
 	s.runner.Start()
 	s.kernel.Run(simtime.Time(s.opts.Deadline))
+	if s.injErr != nil {
+		return nil, fmt.Errorf("vedrfolnir: injected flow failed to start: %w", s.injErr)
+	}
+	if err := s.runner.Err(); err != nil {
+		return nil, fmt.Errorf("vedrfolnir: %w", err)
+	}
 	if done, _ := s.runner.Done(); !done {
 		return nil, fmt.Errorf("vedrfolnir: collective did not complete within %v", s.opts.Deadline)
 	}

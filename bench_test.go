@@ -10,6 +10,10 @@
 package vedrfolnir_test
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -21,6 +25,7 @@ import (
 	"vedrfolnir/internal/rdma"
 	"vedrfolnir/internal/scenario"
 	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/sweep"
 	"vedrfolnir/internal/telemetry"
 	"vedrfolnir/internal/topo"
 	"vedrfolnir/internal/waitgraph"
@@ -202,6 +207,89 @@ func BenchmarkFig14CaseStudy(b *testing.B) {
 				study.BF2Score, study.BF1Score)
 		}
 	}
+}
+
+// --- internal/sweep worker scaling (the BENCH_sweep.json trajectory) ---
+
+// sweepBenchRow is one perf-trajectory datapoint. TestMain writes the rows
+// collected by BenchmarkSweepWorkers* to BENCH_sweep.json after a -bench
+// run, so successive PRs can compare sweep throughput at each pool size.
+type sweepBenchRow struct {
+	Bench       string  `json:"bench"`
+	Workers     int     `json:"workers"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	Jobs        int     `json:"jobs"`
+	Cases       int     `json:"cases"`
+	CasesPerSec float64 `json:"cases_per_sec"`
+	NsPerCase   int64   `json:"ns_per_case"`
+}
+
+// sweepBenchRows is keyed by bench name; the framework reruns a bench with
+// growing b.N, and the last (largest-N) run wins. Benchmarks run
+// sequentially in one goroutine, so plain map writes are safe.
+var sweepBenchRows = map[string]sweepBenchRow{}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 && len(sweepBenchRows) > 0 {
+		names := make([]string, 0, len(sweepBenchRows))
+		for name := range sweepBenchRows {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		rows := make([]sweepBenchRow, 0, len(names))
+		for _, name := range names {
+			rows = append(rows, sweepBenchRows[name])
+		}
+		if buf, err := json.MarshalIndent(rows, "", "  "); err == nil {
+			_ = os.WriteFile("BENCH_sweep.json", append(buf, '\n'), 0o644)
+		}
+	}
+	os.Exit(code)
+}
+
+// benchSweepWorkers runs the Fig 9 contention subset (8 seeds, Vedrfolnir,
+// optimal parameters) through internal/sweep at a fixed pool size and
+// reports merged-sweep throughput.
+func benchSweepWorkers(b *testing.B, name string, workers int) {
+	cfg := benchConfig()
+	opts := scenario.DefaultRunOptions(cfg)
+	opts.Monitor.MaxDetectPerStep = 5 // Fig 9 "optimal parameters"
+	exec := sweep.Cases(cfg, opts)
+	jobs := make([]sweep.Job, 8)
+	for i := range jobs {
+		jobs[i] = sweep.Job{Kind: scenario.Contention, Seed: int64(i), System: scenario.Vedrfolnir}
+	}
+	cases := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := sweep.Run(jobs, exec, sweep.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sum.Failed) > 0 {
+			b.Fatalf("failed cases: %v", sum.Failed)
+		}
+		cases += len(sum.Results)
+	}
+	elapsed := b.Elapsed()
+	casesPerSec := float64(cases) / elapsed.Seconds()
+	b.ReportMetric(casesPerSec, "cases/s")
+	sweepBenchRows[name] = sweepBenchRow{
+		Bench:       name,
+		Workers:     workers,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Jobs:        len(jobs),
+		Cases:       cases,
+		CasesPerSec: casesPerSec,
+		NsPerCase:   elapsed.Nanoseconds() / int64(cases),
+	}
+}
+
+func BenchmarkSweepWorkers1(b *testing.B) { benchSweepWorkers(b, "BenchmarkSweepWorkers1", 1) }
+func BenchmarkSweepWorkers4(b *testing.B) { benchSweepWorkers(b, "BenchmarkSweepWorkers4", 4) }
+func BenchmarkSweepWorkersMax(b *testing.B) {
+	benchSweepWorkers(b, "BenchmarkSweepWorkersMax", runtime.GOMAXPROCS(0))
 }
 
 // --- Core-library micro-benchmarks (ablation/performance support) ---

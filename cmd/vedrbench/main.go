@@ -4,27 +4,37 @@
 // Usage:
 //
 //	vedrbench [-fig 9|10|11|12|13|14|ext|all] [-paper] [-scale N]
+//	          [-workers N] [-journal base]
 //
 // By default a reduced case census runs in seconds; -paper runs the full
-// §IV-A census (60/60/40/60 cases per scenario).
+// §IV-A census (60/60/40/60 cases per scenario). Case grids run on the
+// internal/sweep worker pool (-workers, default GOMAXPROCS); -journal
+// checkpoints each grid to base.<fig>.jsonl so an interrupted run resumes
+// where it stopped (see cmd/vedrsweep for journal tooling). A failing case
+// no longer aborts the run: completed rows still print, the failed case
+// keys are reported at the end, and the exit status is non-zero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"vedrfolnir/internal/experiments"
 	"vedrfolnir/internal/scenario"
-	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/sweep"
+	"vedrfolnir/internal/wire"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 9, 10, 11, 12, 13, 14, ext or all")
 	paper := flag.Bool("paper", false, "run the full paper case census (60/60/40/60)")
 	scaleDen := flag.Float64("scale", 90, "workload scale denominator: sizes and times are 1/N of the paper's")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	journal := flag.String("journal", "", "checkpoint base path: each case grid journals to base.<fig>.jsonl")
 	flag.Parse()
 
 	cfg := scenario.ConfigForScale(*scaleDen)
@@ -32,6 +42,34 @@ func main() {
 	counts := experiments.SmallCaseCounts()
 	if *paper {
 		counts = experiments.PaperCaseCounts()
+	}
+
+	// One failing case degrades its figure instead of aborting the run;
+	// every captured failure is reported (and the exit status set) at the
+	// end. OnResult is invoked from the sweep's single merging goroutine,
+	// so plain append is safe.
+	var failed []string
+	var journals []*sweep.Journal
+	sweepOpts := func(name string) sweep.Options {
+		sw := sweep.Options{
+			Workers:  *workers,
+			Progress: os.Stderr,
+			OnResult: func(r sweep.Result) {
+				if r.Err != "" {
+					failed = append(failed, fmt.Sprintf("%s: %s", r.Key, r.Err))
+				}
+			},
+		}
+		if *journal != "" {
+			spec := wire.SweepSpec{Name: name, Paper: *paper, ScaleDen: *scaleDen}
+			j, err := sweep.OpenJournal(fmt.Sprintf("%s.%s.jsonl", *journal, name), spec)
+			if err != nil {
+				fatal(err)
+			}
+			journals = append(journals, j)
+			sw.Journal = j
+		}
+		return sw
 	}
 
 	run := func(name string, fn func()) {
@@ -49,7 +87,7 @@ func main() {
 		opts := scenario.DefaultRunOptions(cfg)
 		opts.Monitor.MaxDetectPerStep = 5 // Fig 9 uses "optimal parameters"
 		var err error
-		cells, err = experiments.Sweep(cfg, counts, experiments.Systems, opts)
+		cells, err = experiments.Sweep(cfg, counts, experiments.Systems, opts, sweepOpts("fig9"))
 		if err != nil {
 			fatal(err)
 		}
@@ -65,7 +103,7 @@ func main() {
 	}
 	if want("12") {
 		run("Fig 12: precision & recall over RTT thresholds × detection counts", func() {
-			rows, err := experiments.Fig12(cfg, counts)
+			rows, err := experiments.Fig12(cfg, counts, sweepOpts("fig12"))
 			if err != nil {
 				fatal(err)
 			}
@@ -74,7 +112,7 @@ func main() {
 	}
 	if want("13") {
 		run("Fig 13: ablations of the step-aware mechanism", func() {
-			printFig13(cfg, counts[scenario.Contention])
+			printFig13(cfg, counts[scenario.Contention], sweepOpts)
 		})
 	}
 	if want("14") {
@@ -82,7 +120,7 @@ func main() {
 	}
 	if want("ext") {
 		run("Extensions: remaining §II-B anomalies + slowdown distributions", func() {
-			printExtensions(cfg, counts)
+			printExtensions(cfg, counts, sweepOpts)
 		})
 	}
 	known := false
@@ -95,6 +133,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
+	for _, j := range journals {
+		j.Close()
+	}
+	if len(failed) > 0 {
+		sort.Strings(failed)
+		fmt.Fprintf(os.Stderr, "%d case(s) failed (rows above aggregate the remainder):\n", len(failed))
+		for _, f := range failed {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {
@@ -102,14 +151,15 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func printExtensions(cfg scenario.Config, counts map[scenario.AnomalyKind]int) {
+func printExtensions(cfg scenario.Config, counts map[scenario.AnomalyKind]int,
+	sweepOpts func(string) sweep.Options) {
 	cases := counts[scenario.Contention]
 	if cases == 0 {
 		cases = 6
 	}
 	fmt.Println("-- extension anomalies (vedrfolnir) --")
 	fmt.Printf("%-18s %9s %9s %16s\n", "scenario", "precision", "recall", "telemetry(B)")
-	ext, err := experiments.ExtensionSweep(cfg, cases)
+	ext, err := experiments.ExtensionSweep(cfg, cases, sweepOpts("ext"))
 	if err != nil {
 		fatal(err)
 	}
@@ -117,7 +167,7 @@ func printExtensions(cfg scenario.Config, counts map[scenario.AnomalyKind]int) {
 		fmt.Printf("%-18s %9.2f %9.2f %16d\n", c.Kind, c.Precision(), c.Recall(), c.TelemetryBytes)
 	}
 	fmt.Println("-- per-step slowdown distributions --")
-	rows, err := experiments.Slowdowns(cfg, counts)
+	rows, err := experiments.Slowdowns(cfg, counts, sweepOpts("slowdowns"))
 	if err != nil {
 		fatal(err)
 	}
@@ -129,16 +179,24 @@ func printExtensions(cfg scenario.Config, counts map[scenario.AnomalyKind]int) {
 func printFig9(cells []experiments.Cell) {
 	fmt.Printf("%-18s %-14s %9s %9s %6s\n", "scenario", "system", "precision", "recall", "cases")
 	for _, c := range cells {
-		fmt.Printf("%-18s %-14s %9.2f %9.2f %6d\n",
-			c.Kind, c.System, c.Precision(), c.Recall(), c.Cases)
+		fmt.Printf("%-18s %-14s %9.2f %9.2f %6d%s\n",
+			c.Kind, c.System, c.Precision(), c.Recall(), c.Cases, failNote(c.Failed))
 	}
 }
 
 func printFig10(cells []experiments.Cell) {
 	fmt.Printf("%-18s %-14s %16s %16s\n", "scenario", "system", "telemetry(B)", "bandwidth(B)")
 	for _, c := range cells {
-		fmt.Printf("%-18s %-14s %16d %16d\n", c.Kind, c.System, c.TelemetryBytes, c.BandwidthBytes)
+		fmt.Printf("%-18s %-14s %16d %16d%s\n", c.Kind, c.System, c.TelemetryBytes, c.BandwidthBytes, failNote(c.Failed))
 	}
+}
+
+// failNote annotates a row whose cell lost cases to captured failures.
+func failNote(failed int) string {
+	if failed == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  (!%d failed)", failed)
 }
 
 func printFig11() {
@@ -155,20 +213,19 @@ func printFig11() {
 func printFig12(rows []experiments.Fig12Row) {
 	fmt.Printf("%-18s %6s %7s %9s %9s\n", "scenario", "rtt%", "detect", "precision", "recall")
 	for _, r := range rows {
-		fmt.Printf("%-18s %5.0f%% %7d %9.2f %9.2f\n",
-			r.Kind, r.RTTFactor*100, r.DetectCount, r.Metrics.Precision(), r.Metrics.Recall())
+		fmt.Printf("%-18s %5.0f%% %7d %9.2f %9.2f%s\n",
+			r.Kind, r.RTTFactor*100, r.DetectCount, r.Metrics.Precision(), r.Metrics.Recall(), failNote(r.Failed))
 	}
 }
 
-func printFig13(cfg scenario.Config, cases int) {
+func printFig13(cfg scenario.Config, cases int, sweepOpts func(string) sweep.Options) {
 	if cases == 0 {
 		cases = 6
 	}
-	base := simtime.Duration(float64(30*time.Microsecond) * cfg.Scale * 90)
-	ths := []simtime.Duration{base, 2 * base, 4 * base, 8 * base}
+	ths := experiments.Fig13aThresholds(cfg)
 	fmt.Println("-- Fig 13a: fixed vs step-grained RTT thresholds (contention, ≤3/step) --")
 	fmt.Printf("%-22s %9s %16s\n", "threshold", "precision", "telemetry(B)")
-	rows13a, err := experiments.Fig13a(cfg, cases, ths)
+	rows13a, err := experiments.Fig13a(cfg, cases, ths, sweepOpts("fig13a"))
 	if err != nil {
 		fatal(err)
 	}
@@ -177,16 +234,16 @@ func printFig13(cfg scenario.Config, cases int) {
 		if row.Threshold > 0 {
 			label = row.Threshold.String()
 		}
-		fmt.Printf("%-22s %9.2f %16d\n", label, row.Metrics.Precision(), row.TelemetryBytes)
+		fmt.Printf("%-22s %9.2f %16d%s\n", label, row.Metrics.Precision(), row.TelemetryBytes, failNote(row.Failed))
 	}
 	fmt.Println("-- Fig 13b: detection-count allocation vs unrestricted triggering --")
 	fmt.Printf("%-22s %9s %16s\n", "setting", "precision", "telemetry(B)")
-	rows13b, err := experiments.Fig13b(cfg, cases, []int{1, 3, 5})
+	rows13b, err := experiments.Fig13b(cfg, cases, []int{1, 3, 5}, sweepOpts("fig13b"))
 	if err != nil {
 		fatal(err)
 	}
 	for _, row := range rows13b {
-		fmt.Printf("%-22s %9.2f %16d\n", row.Label, row.Metrics.Precision(), row.TelemetryBytes)
+		fmt.Printf("%-22s %9.2f %16d%s\n", row.Label, row.Metrics.Precision(), row.TelemetryBytes, failNote(row.Failed))
 	}
 }
 

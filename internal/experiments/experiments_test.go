@@ -13,6 +13,7 @@ import (
 	"vedrfolnir/internal/scenario"
 	"vedrfolnir/internal/sim"
 	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/sweep"
 	"vedrfolnir/internal/topo"
 	"vedrfolnir/internal/waitgraph"
 )
@@ -44,7 +45,7 @@ func TestSweepShape(t *testing.T) {
 		t.Skip("sweep is slow")
 	}
 	cfg := fastConfig()
-	cells, err := Sweep(cfg, tinyCounts(), Systems, scenario.DefaultRunOptions(cfg))
+	cells, err := Sweep(cfg, tinyCounts(), Systems, scenario.DefaultRunOptions(cfg), sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestFig12Shape(t *testing.T) {
 	}
 	cfg := fastConfig()
 	counts := map[scenario.AnomalyKind]int{scenario.Contention: 2, scenario.PFCBackpressure: 2}
-	rows, err := Fig12(cfg, counts)
+	rows, err := Fig12(cfg, counts, sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestFig13b(t *testing.T) {
 		t.Skip("sweep is slow")
 	}
 	cfg := fastConfig()
-	rows, err := Fig13b(cfg, 2, []int{1, 3})
+	rows, err := Fig13b(cfg, 2, []int{1, 3}, sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,6 +189,53 @@ func TestTrainingSimLocalizesAnomaly(t *testing.T) {
 	if results[disturbAt].Duration <= results[disturbAt-1].Duration {
 		t.Fatalf("disturbed iteration not slower: %v vs %v",
 			results[disturbAt].Duration, results[disturbAt-1].Duration)
+	}
+}
+
+func TestTrainingSweepParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training streams are slow")
+	}
+	cfg := fastConfig()
+	const streams, iterations, disturbAt = 3, 3, 1
+	seq, err := TrainingSweep(cfg, streams, iterations, disturbAt, 4<<20, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := TrainingSweep(cfg, streams, iterations, disturbAt, 4<<20, sweep.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != streams || len(par) != streams {
+		t.Fatalf("rows: seq %d, par %d, want %d", len(seq), len(par), streams)
+	}
+	for s := range seq {
+		if seq[s].Err != "" {
+			t.Fatalf("stream %d failed: %s", s, seq[s].Err)
+		}
+		if !seq[s].DisturbDetected {
+			t.Errorf("stream %d: disturbed iteration not diagnosed", s)
+		}
+		if len(seq[s].Iterations) != iterations {
+			t.Fatalf("stream %d: %d iterations", s, len(seq[s].Iterations))
+		}
+		for it := range seq[s].Iterations {
+			if seq[s].Iterations[it] != par[s].Iterations[it] {
+				t.Fatalf("stream %d iteration %d: %v (workers=1) != %v (workers=4)",
+					s, it, seq[s].Iterations[it], par[s].Iterations[it])
+			}
+		}
+	}
+	// Streams are differently seeded clusters: at least one pair of
+	// streams must differ somewhere, or the fleet is degenerate.
+	distinct := false
+	for it := 0; it < iterations && !distinct; it++ {
+		if seq[0].Iterations[it] != seq[1].Iterations[it] {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Error("streams 0 and 1 are identical; stream seeding is broken")
 	}
 }
 

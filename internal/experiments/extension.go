@@ -4,36 +4,53 @@ import (
 	"vedrfolnir/internal/scenario"
 	"vedrfolnir/internal/simtime"
 	"vedrfolnir/internal/stats"
+	"vedrfolnir/internal/sweep"
 )
 
 // ExtKinds are the §II-B anomalies implemented beyond the paper's evaluated
 // four (forwarding loops and load imbalance).
 var ExtKinds = []scenario.AnomalyKind{scenario.Loop, scenario.LoadImbalance}
 
+// ExtensionJobs is the extension-scenario grid: ExtKinds × seed under
+// Vedrfolnir.
+func ExtensionJobs(cases int) []sweep.Job {
+	var jobs []sweep.Job
+	for _, kind := range ExtKinds {
+		for seed := 0; seed < cases; seed++ {
+			jobs = append(jobs, sweep.Job{Kind: kind, Seed: int64(seed), System: scenario.Vedrfolnir})
+		}
+	}
+	return jobs
+}
+
 // ExtensionSweep runs the extension scenarios under Vedrfolnir and
 // aggregates their outcomes — the repo's equivalent of extending the
 // paper's Fig 9 to the remaining §II-B anomaly types.
-func ExtensionSweep(cfg scenario.Config, cases int) ([]Cell, error) {
-	opts := scenario.DefaultRunOptions(cfg)
+func ExtensionSweep(cfg scenario.Config, cases int, sw sweep.Options) ([]Cell, error) {
+	sum, err := finish(sweep.Run(ExtensionJobs(cases),
+		sweep.Cases(cfg, scenario.DefaultRunOptions(cfg)), sw))
+	if err != nil {
+		return nil, err
+	}
+	next := cursor(sum)
 	var out []Cell
 	for _, kind := range ExtKinds {
 		cell := Cell{Kind: kind, System: scenario.Vedrfolnir, Cases: cases}
 		var telem, bw int64
 		for seed := 0; seed < cases; seed++ {
-			cs, err := scenario.GenerateCase(kind, int64(seed), cfg)
-			if err != nil {
-				return nil, err
+			r := next()
+			if r.Err != "" {
+				cell.Failed++
+				continue
 			}
-			res, err := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
-			if err != nil {
-				return nil, err
-			}
-			cell.Metrics.Add(res.Outcome)
-			telem += res.Overhead.TelemetryBytes
-			bw += res.Overhead.Bandwidth()
+			cell.Metrics.Add(r.Outcome)
+			telem += r.TelemetryBytes
+			bw += r.BandwidthBytes
 		}
-		cell.TelemetryBytes = telem / int64(cases)
-		cell.BandwidthBytes = bw / int64(cases)
+		if ok := cell.Cases - cell.Failed; ok > 0 {
+			cell.TelemetryBytes = telem / int64(ok)
+			cell.BandwidthBytes = bw / int64(ok)
+		}
 		out = append(out, cell)
 	}
 	return out, nil
@@ -47,10 +64,33 @@ type SlowdownRow struct {
 	Summary stats.Summary
 }
 
+// SlowdownJobs is the slowdown-distribution grid: every evaluated kind ×
+// seed under Vedrfolnir at its default operating point.
+func SlowdownJobs(counts map[scenario.AnomalyKind]int) []sweep.Job {
+	var jobs []sweep.Job
+	for _, kind := range Kinds {
+		n := counts[kind]
+		if n == 0 {
+			continue
+		}
+		for seed := 0; seed < n; seed++ {
+			jobs = append(jobs, sweep.Job{Kind: kind, Seed: int64(seed), System: scenario.Vedrfolnir})
+		}
+	}
+	return jobs
+}
+
 // Slowdowns gathers per-step slowdown distributions across cases, per
-// anomaly kind.
-func Slowdowns(cfg scenario.Config, counts map[scenario.AnomalyKind]int) ([]SlowdownRow, error) {
-	opts := scenario.DefaultRunOptions(cfg)
+// anomaly kind. The samples ride along in each job's Result, so the
+// distribution is assembled from the job-ordered merge and is identical at
+// any worker count.
+func Slowdowns(cfg scenario.Config, counts map[scenario.AnomalyKind]int, sw sweep.Options) ([]SlowdownRow, error) {
+	sum, err := finish(sweep.Run(SlowdownJobs(counts),
+		sweep.Cases(cfg, scenario.DefaultRunOptions(cfg)), sw))
+	if err != nil {
+		return nil, err
+	}
+	next := cursor(sum)
 	var out []SlowdownRow
 	for _, kind := range Kinds {
 		n := counts[kind]
@@ -59,27 +99,11 @@ func Slowdowns(cfg scenario.Config, counts map[scenario.AnomalyKind]int) ([]Slow
 		}
 		var sample []simtime.Duration
 		for seed := 0; seed < n; seed++ {
-			cs, err := scenario.GenerateCase(kind, int64(seed), cfg)
-			if err != nil {
-				return nil, err
+			r := next()
+			if r.Err != "" {
+				continue
 			}
-			res, err := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
-			if err != nil {
-				return nil, err
-			}
-			minByStep := map[int]simtime.Duration{}
-			for _, rec := range res.Records {
-				d := rec.End.Sub(rec.Start)
-				if cur, ok := minByStep[rec.Step]; !ok || d < cur {
-					minByStep[rec.Step] = d
-				}
-			}
-			for _, rec := range res.Records {
-				slow := rec.End.Sub(rec.Start) - minByStep[rec.Step]
-				if slow > 0 {
-					sample = append(sample, slow)
-				}
-			}
+			sample = append(sample, r.Samples...)
 		}
 		out = append(out, SlowdownRow{Kind: kind, Summary: stats.Summarize(sample)})
 	}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vedrfolnir/internal/scenario"
+	"vedrfolnir/internal/sweep"
+	"vedrfolnir/internal/wire"
+)
+
+// SweepPlan is one named, journal-able case sweep: everything needed to
+// run it (jobs + exec) and to identify its journal (spec). A journal's
+// header stores the spec, so an interrupted sweep can be resumed — its job
+// set and configuration rebuilt — from the journal file alone.
+type SweepPlan struct {
+	Spec   wire.SweepSpec
+	Config scenario.Config
+	Counts map[scenario.AnomalyKind]int
+	Jobs   []sweep.Job
+	Exec   sweep.Exec
+}
+
+// SweepNames lists the plannable sweeps: the paper's case-grid figures
+// plus the extension scenarios and slowdown distributions. fig9 and fig10
+// read the same sweep, so only fig9 is a distinct plan.
+func SweepNames() []string {
+	return []string{"fig9", "fig12", "fig13a", "fig13b", "ext", "slowdowns"}
+}
+
+// PlanSweep builds the named sweep at the given census and workload scale.
+// fig10 is accepted as an alias for fig9 (one sweep feeds both figures).
+func PlanSweep(name string, paper bool, scaleDen float64) (*SweepPlan, error) {
+	if name == "fig10" {
+		name = "fig9"
+	}
+	cfg := scenario.ConfigForScale(scaleDen)
+	counts := SmallCaseCounts()
+	if paper {
+		counts = PaperCaseCounts()
+	}
+	plan := &SweepPlan{
+		Spec:   wire.SweepSpec{Name: name, Paper: paper, ScaleDen: scaleDen},
+		Config: cfg,
+		Counts: counts,
+	}
+	opts := scenario.DefaultRunOptions(cfg)
+	switch name {
+	case "fig9":
+		opts.Monitor.MaxDetectPerStep = 5 // Fig 9 uses "optimal parameters"
+		plan.Jobs = CellJobs(counts, Systems)
+	case "fig12":
+		plan.Jobs = Fig12Jobs(counts)
+	case "fig13a":
+		plan.Jobs = Fig13aJobs(counts[scenario.Contention], Fig13aThresholds(cfg))
+	case "fig13b":
+		plan.Jobs = Fig13bJobs(counts[scenario.Contention], []int{1, 3, 5})
+	case "ext":
+		plan.Jobs = ExtensionJobs(counts[scenario.Contention])
+	case "slowdowns":
+		plan.Jobs = SlowdownJobs(counts)
+	default:
+		return nil, fmt.Errorf("experiments: unknown sweep %q (have %v)", name, SweepNames())
+	}
+	plan.Exec = sweep.Cases(cfg, opts)
+	return plan, nil
+}
+
+// PlanFromSpec rebuilds the plan an existing journal was created for.
+func PlanFromSpec(spec wire.SweepSpec) (*SweepPlan, error) {
+	return PlanSweep(spec.Name, spec.Paper, spec.ScaleDen)
+}

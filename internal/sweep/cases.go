@@ -1,0 +1,64 @@
+package sweep
+
+import (
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/scenario"
+	"vedrfolnir/internal/simtime"
+)
+
+// Exec runs one job and returns its result. The engine fills Result.Job
+// and Result.Key and converts a returned error into per-job error capture,
+// so an Exec only fills the measurement fields. Implementations are called
+// concurrently from the worker pool and must not share mutable state
+// between calls; everything a case needs is built from the job itself.
+type Exec func(Job) (Result, error)
+
+// Cases returns the standard scenario-case Exec: generate the job's case
+// from its seed, run it under the job's system with the job's parameter
+// overrides applied to base, and extract the figure aggregates. Every call
+// builds a fresh topology, simulation kernel, and RNG from the job seed
+// (inside scenario.GenerateCase/Run), so concurrent jobs are fully
+// isolated and a job's result depends only on the job.
+func Cases(cfg scenario.Config, base scenario.RunOptions) Exec {
+	return func(j Job) (Result, error) {
+		cs, err := scenario.GenerateCase(j.Kind, j.Seed, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		opts := base
+		j.Params.Apply(&opts)
+		res, err := scenario.Run(cs, j.System, cfg, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Outcome:        res.Outcome,
+			Completed:      res.Completed,
+			TelemetryBytes: res.Overhead.TelemetryBytes,
+			BandwidthBytes: res.Overhead.Bandwidth(),
+			CollectiveTime: res.CollectiveTime,
+			Detected:       len(res.Detected),
+			Samples:        slowdownSamples(res.Records),
+		}, nil
+	}
+}
+
+// slowdownSamples extracts the positive per-step slowdowns (actual step
+// duration minus the fastest same-index step) from a run's records, in
+// record order — the distribution the slowdown harness summarizes.
+func slowdownSamples(recs []collective.StepRecord) []simtime.Duration {
+	minByStep := map[int]simtime.Duration{}
+	for _, rec := range recs {
+		d := rec.End.Sub(rec.Start)
+		if cur, ok := minByStep[rec.Step]; !ok || d < cur {
+			minByStep[rec.Step] = d
+		}
+	}
+	var out []simtime.Duration
+	for _, rec := range recs {
+		if slow := rec.End.Sub(rec.Start) - minByStep[rec.Step]; slow > 0 {
+			out = append(out, slow)
+		}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vedrfolnir/internal/wire"
+)
+
+// journalFormat is the supported journal format version.
+const journalFormat = 1
+
+// Journal is a sweep's JSONL checkpoint file: a wire.SweepHeader line
+// followed by one wire.SweepRecord line per finished job. While a sweep
+// runs, records are appended in completion order (maximum checkpoint
+// granularity: a kill loses at most the in-flight jobs); when the sweep
+// finishes, Compact rewrites the file in job order, so two completed
+// journals of the same sweep are byte-identical no matter how many times
+// they were interrupted or how many workers ran them.
+type Journal struct {
+	path   string
+	f      *os.File
+	header wire.SweepHeader
+	have   map[string]Result
+	failed map[string]bool
+}
+
+// OpenJournal opens or creates the journal at path for the sweep described
+// by spec. An existing file must carry the same spec — a journal never
+// mixes two different sweeps — and its records become the resume set.
+func OpenJournal(path string, spec wire.SweepSpec) (*Journal, error) {
+	j := &Journal{
+		path:   path,
+		header: wire.SweepHeader{Format: journalFormat, Spec: spec},
+		have:   map[string]Result{},
+		failed: map[string]bool{},
+	}
+	if _, err := os.Stat(path); err == nil {
+		header, results, err := ReadJournal(path)
+		if err != nil {
+			return nil, err
+		}
+		if header.Spec != spec {
+			return nil, fmt.Errorf("sweep: journal %s belongs to sweep %+v, not %+v",
+				path, header.Spec, spec)
+		}
+		for _, r := range results {
+			if r.Err != "" {
+				// Failed jobs re-run on resume; remember them only so
+				// status can report the capture.
+				j.failed[r.Key] = true
+				continue
+			}
+			j.have[r.Key] = r
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	j.f = f
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	if st.Size() == 0 {
+		if err := j.appendLine(j.header); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// Spec returns the sweep spec the journal was opened with.
+func (j *Journal) Spec() wire.SweepSpec { return j.header.Spec }
+
+// Have returns the journaled result for key, if the job completed
+// successfully in a previous run. Failed jobs are not "had": a resumed
+// sweep re-runs them so transient failures heal.
+func (j *Journal) Have(key string) (Result, bool) {
+	r, ok := j.have[key]
+	return r, ok
+}
+
+// Append journals one finished job.
+func (j *Journal) Append(r Result) error {
+	if j.f == nil {
+		return fmt.Errorf("sweep: journal %s is closed", j.path)
+	}
+	return j.appendLine(wireRecord(r))
+}
+
+func (j *Journal) appendLine(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	return nil
+}
+
+// Compact atomically rewrites the journal as header + results in the
+// given (job) order, replacing the completion-order append log. It closes
+// the journal: a compacted journal is a finished sweep's canonical form.
+func (j *Journal) Compact(results []Result) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(j.header); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	for _, r := range results {
+		if err := enc.Encode(wireRecord(r)); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), filepath.Base(j.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if err := j.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal's file handle. Safe to call twice.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	return nil
+}
+
+// ReadJournal parses a journal file: the header plus every record, in file
+// order. Records for the same key may repeat (an interrupted sweep re-ran
+// a failed job); later lines supersede earlier ones.
+func ReadJournal(path string) (wire.SweepHeader, []Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return wire.SweepHeader{}, nil, fmt.Errorf("sweep: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return wire.SweepHeader{}, nil, fmt.Errorf("sweep: %w", err)
+		}
+		return wire.SweepHeader{}, nil, fmt.Errorf("sweep: journal %s is empty", path)
+	}
+	var header wire.SweepHeader
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+		return wire.SweepHeader{}, nil, fmt.Errorf("sweep: journal %s header: %w", path, err)
+	}
+	if header.Format != journalFormat {
+		return wire.SweepHeader{}, nil, fmt.Errorf("sweep: journal %s has format %d, want %d",
+			path, header.Format, journalFormat)
+	}
+	var results []Result
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var rec wire.SweepRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return wire.SweepHeader{}, nil, fmt.Errorf("sweep: journal %s line %d: %w", path, line, err)
+		}
+		results = append(results, resultFromWire(rec))
+	}
+	if err := sc.Err(); err != nil {
+		return wire.SweepHeader{}, nil, fmt.Errorf("sweep: %w", err)
+	}
+	return header, results, nil
+}

@@ -1,0 +1,66 @@
+package wire
+
+// Sweep exchange forms: the JSONL journal written by internal/sweep is a
+// header line (SweepHeader) followed by one SweepRecord per completed case.
+// The journal is the sweep's checkpoint — a restarted sweep skips every job
+// whose key already has a successful record — so these DTOs carry both the
+// job identity (to rebuild the work list) and the per-case aggregates the
+// figure harnesses consume. Kinds, systems, and outcomes travel as their
+// stable numeric codes; the redundant *_name fields are informational only
+// and ignored when decoding.
+
+// SweepSpec identifies which sweep a journal belongs to. A journal opened
+// with a different spec is rejected rather than silently mixed.
+type SweepSpec struct {
+	// Name of the job-set the journal covers (fig9, fig12, fig13a,
+	// fig13b, ext, slowdowns).
+	Name string `json:"name"`
+	// Paper selects the full §IV-A case census over the reduced one.
+	Paper bool `json:"paper,omitempty"`
+	// ScaleDen is the workload scale denominator (sizes and times are
+	// 1/ScaleDen of the paper's).
+	ScaleDen float64 `json:"scale_den"`
+}
+
+// SweepHeader is the first line of a sweep journal.
+type SweepHeader struct {
+	// Format is the journal format version (currently 1).
+	Format int       `json:"vedrfolnir_sweep"`
+	Spec   SweepSpec `json:"spec"`
+}
+
+// SweepParams is the JSON form of a job's run-option overrides. Zero
+// fields mean "the system's default operating point".
+type SweepParams struct {
+	RTTFactor        float64 `json:"rtt_factor,omitempty"`
+	MaxDetectPerStep int     `json:"max_detect,omitempty"`
+	FixedRTTNS       int64   `json:"fixed_rtt_ns,omitempty"`
+	Unrestricted     bool    `json:"unrestricted,omitempty"`
+}
+
+// SweepJob is the JSON form of one scheduled case.
+type SweepJob struct {
+	Kind       uint8       `json:"kind"`
+	KindName   string      `json:"kind_name,omitempty"`
+	Seed       int64       `json:"seed"`
+	System     uint8       `json:"system"`
+	SystemName string      `json:"system_name,omitempty"`
+	Params     SweepParams `json:"params"`
+}
+
+// SweepRecord is the JSON form of one completed (or failed) case.
+type SweepRecord struct {
+	Key string   `json:"key"`
+	Job SweepJob `json:"job"`
+	// Err is the case's captured failure; when non-empty every result
+	// field below is meaningless and a resumed sweep re-runs the job.
+	Err            string  `json:"err,omitempty"`
+	Outcome        uint8   `json:"outcome"`
+	OutcomeName    string  `json:"outcome_name,omitempty"`
+	Completed      bool    `json:"completed"`
+	TelemetryBytes int64   `json:"telemetry_bytes"`
+	BandwidthBytes int64   `json:"bandwidth_bytes"`
+	CollectiveNS   int64   `json:"collective_ns"`
+	Detected       int     `json:"detected"`
+	SamplesNS      []int64 `json:"samples_ns,omitempty"`
+}

@@ -8,6 +8,13 @@
 // Usage:
 //
 //	vedranalyzerd [-listen 127.0.0.1:7391] [-after 30s] [-json]
+//	              [-read-timeout 2m] [-max-line 16777216]
+//
+// The service is hardened against misbehaving agents: -read-timeout drops
+// a connection that stops delivering bytes, -max-line caps one protocol
+// line, malformed lines are skipped with a counter, and sequence-numbered
+// submissions are acknowledged for exactly-once resubmission (see
+// internal/analyzerd). Abuse counters print alongside the ingest totals.
 package main
 
 import (
@@ -27,9 +34,14 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7391", "TCP listen address")
 	after := flag.Duration("after", 0, "diagnose and exit after this duration (0 = wait for SIGINT)")
 	asJSON := flag.Bool("json", false, "emit the diagnosis as JSON")
+	scfg := analyzerd.DefaultServerConfig()
+	flag.DurationVar(&scfg.ReadTimeout, "read-timeout", scfg.ReadTimeout,
+		"drop a connection idle for this long (0 = never)")
+	flag.IntVar(&scfg.MaxLineBytes, "max-line", scfg.MaxLineBytes,
+		"maximum protocol line size in bytes")
 	flag.Parse()
 
-	srv, err := analyzerd.Serve(*listen)
+	srv, err := analyzerd.ServeWith(*listen, scfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
 		os.Exit(1)
@@ -54,6 +66,10 @@ func main() {
 
 	recs, reps, cfs := srv.Counts()
 	fmt.Printf("ingested: %d step records, %d reports, %d collective flows\n", recs, reps, cfs)
+	if st := srv.Stats(); st != (analyzerd.ServerStats{}) {
+		fmt.Printf("shrugged off: %d malformed, %d oversized, %d timed out, %d rejected, %d duplicates\n",
+			st.Malformed, st.Oversized, st.TimedOut, st.Rejected, st.Duplicates)
+	}
 	diag := srv.Diagnose()
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)

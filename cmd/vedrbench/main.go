@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vedrbench [-fig 9|10|11|12|13|14|ext|all] [-paper] [-scale N]
+//	vedrbench [-fig 9|10|11|12|13|14|ext|chaos|all] [-paper] [-scale N]
 //	          [-workers N] [-journal base]
 //
 // By default a reduced case census runs in seconds; -paper runs the full
@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9, 10, 11, 12, 13, 14, ext or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 9, 10, 11, 12, 13, 14, ext, chaos or all")
 	paper := flag.Bool("paper", false, "run the full paper case census (60/60/40/60)")
 	scaleDen := flag.Float64("scale", 90, "workload scale denominator: sizes and times are 1/N of the paper's")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
@@ -123,8 +123,17 @@ func main() {
 			printExtensions(cfg, counts, sweepOpts)
 		})
 	}
+	if want("chaos") {
+		run("Chaos: precision/recall/confidence vs control-packet loss", func() {
+			rows, err := experiments.Chaos(cfg, counts, sweepOpts("chaos"))
+			if err != nil {
+				fatal(err)
+			}
+			printChaos(rows)
+		})
+	}
 	known := false
-	for _, f := range []string{"9", "10", "11", "12", "13", "14", "ext"} {
+	for _, f := range []string{"9", "10", "11", "12", "13", "14", "ext", "chaos"} {
 		if want(f) {
 			known = true
 		}
@@ -244,6 +253,19 @@ func printFig13(cfg scenario.Config, cases int, sweepOpts func(string) sweep.Opt
 	}
 	for _, row := range rows13b {
 		fmt.Printf("%-22s %9.2f %16d%s\n", row.Label, row.Metrics.Precision(), row.TelemetryBytes, failNote(row.Failed))
+	}
+}
+
+func printChaos(rows []experiments.ChaosRow) {
+	fmt.Printf("%-18s %7s %9s %9s %11s %6s\n", "scenario", "loss%", "precision", "recall", "confidence", "cases")
+	for _, r := range rows {
+		note := failNote(r.Failed)
+		if r.Incomplete > 0 {
+			note += fmt.Sprintf("  (%d incomplete)", r.Incomplete)
+		}
+		fmt.Printf("%-18s %6.1f%% %9.2f %9.2f %11.2f %6d%s\n",
+			r.Kind, r.LossRate*100, r.Metrics.Precision(), r.Metrics.Recall(),
+			r.MeanConfidence, r.Cases, note)
 	}
 }
 

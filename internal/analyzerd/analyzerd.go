@@ -7,16 +7,24 @@
 //
 // In the simulator the monitors and analyzer share a process, but this
 // service is how a real deployment wires them: one analyzerd per cluster,
-// one client per host agent.
+// one client per host agent. The service is hardened against misbehaving
+// peers: per-connection read deadlines bound a stalled client, the line
+// scanner is capped so an unbounded line cannot grow the buffer without
+// limit, malformed lines are counted and skipped instead of killing the
+// connection, and sequence-numbered submissions are acknowledged so a
+// ReliableClient can reconnect and resubmit unacked records exactly once.
 package analyzerd
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"vedrfolnir/internal/collective"
 	"vedrfolnir/internal/diagnose"
@@ -27,12 +35,18 @@ import (
 )
 
 // Message is one line of the monitor→analyzer protocol. Exactly one payload
-// field is set, selected by Type.
+// field is set, selected by Type. Seq and Client are optional: a client
+// that numbers its messages (per-client, strictly increasing from 1) gets
+// an {"ack":seq} reply per ingested message and duplicate suppression on
+// resubmission; unnumbered messages keep the original fire-and-forget
+// behaviour.
 type Message struct {
 	Type   string           `json:"type"` // "step" | "report" | "cf"
 	Step   *wire.StepRecord `json:"step,omitempty"`
 	Report *wire.Report     `json:"report,omitempty"`
 	CF     *wire.Flow       `json:"cf,omitempty"`
+	Seq    int64            `json:"seq,omitempty"`
+	Client string           `json:"client,omitempty"`
 }
 
 // Protocol message types.
@@ -42,9 +56,89 @@ const (
 	TypeCF     = "cf"
 )
 
+// ParseMessage decodes and validates one protocol line: known type, the
+// matching payload present, no extra payloads, non-negative sequence
+// number. It is the single entry point for untrusted input (the fuzz
+// target), so every malformed shape must come back as an error, never a
+// panic.
+func ParseMessage(line []byte) (*Message, error) {
+	var msg Message
+	if err := json.Unmarshal(line, &msg); err != nil {
+		return nil, err
+	}
+	if msg.Seq < 0 {
+		return nil, fmt.Errorf("negative seq %d", msg.Seq)
+	}
+	payloads := 0
+	if msg.Step != nil {
+		payloads++
+	}
+	if msg.Report != nil {
+		payloads++
+	}
+	if msg.CF != nil {
+		payloads++
+	}
+	if payloads > 1 {
+		return nil, fmt.Errorf("%d payloads in one message", payloads)
+	}
+	switch msg.Type {
+	case TypeStep:
+		if msg.Step == nil {
+			return nil, errors.New("step message without payload")
+		}
+	case TypeReport:
+		if msg.Report == nil {
+			return nil, errors.New("report message without payload")
+		}
+	case TypeCF:
+		if msg.CF == nil {
+			return nil, errors.New("cf message without payload")
+		}
+	default:
+		return nil, fmt.Errorf("unknown message type %q", msg.Type)
+	}
+	return &msg, nil
+}
+
+// ServerConfig hardens the service against misbehaving peers.
+type ServerConfig struct {
+	// ReadTimeout bounds how long a connection may go without delivering
+	// bytes before it is dropped (a stalled client must not hold its
+	// handler — or Close — hostage). <= 0 disables the deadline.
+	ReadTimeout time.Duration
+	// MaxLineBytes caps one protocol line; a longer line terminates the
+	// connection (counted in Stats().Oversized) instead of growing the
+	// scanner buffer without bound. <= 0 uses the default (16 MiB).
+	MaxLineBytes int
+}
+
+// DefaultServerConfig returns the production hardening defaults. The read
+// timeout is generous — an idle monitor between collectives is normal —
+// but finite, and a dropped idle client just reconnects.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{ReadTimeout: 2 * time.Minute, MaxLineBytes: 16 << 20}
+}
+
+// ServerStats counts the abuse the server shrugged off.
+type ServerStats struct {
+	// Malformed lines were skipped (with an error reply) rather than
+	// killing the connection.
+	Malformed int64
+	// Oversized lines exceeded MaxLineBytes and terminated the connection.
+	Oversized int64
+	// TimedOut connections were dropped by the read deadline.
+	TimedOut int64
+	// Rejected messages parsed but failed ingestion.
+	Rejected int64
+	// Duplicates are resubmitted already-acked messages (suppressed).
+	Duplicates int64
+}
+
 // Server accepts monitor connections and aggregates their submissions.
 type Server struct {
-	ln net.Listener
+	ln  net.Listener
+	cfg ServerConfig
 
 	mu      sync.Mutex
 	records []collective.StepRecord
@@ -53,21 +147,38 @@ type Server struct {
 	// stepIndex maps a collective flow to its (host, step), learned from
 	// the step records themselves.
 	stepIndex map[fabric.FlowKey]waitgraph.StepRef
+	// acked is the per-client acknowledged-sequence highwater, the
+	// resubmission dedup state.
+	acked map[string]int64
+	conns map[net.Conn]struct{}
+	stats ServerStats
 
 	wg     sync.WaitGroup
 	closed bool
 }
 
-// Serve starts the analyzer on addr ("127.0.0.1:0" for an ephemeral port).
+// Serve starts the analyzer on addr ("127.0.0.1:0" for an ephemeral port)
+// with the default hardening configuration.
 func Serve(addr string) (*Server, error) {
+	return ServeWith(addr, DefaultServerConfig())
+}
+
+// ServeWith starts the analyzer with an explicit hardening configuration.
+func ServeWith(addr string, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("analyzerd: %w", err)
 	}
+	if cfg.MaxLineBytes <= 0 {
+		cfg.MaxLineBytes = 16 << 20
+	}
 	s := &Server{
 		ln:        ln,
+		cfg:       cfg,
 		cfs:       make(map[fabric.FlowKey]bool),
 		stepIndex: make(map[fabric.FlowKey]waitgraph.StepRef),
+		acked:     make(map[string]int64),
+		conns:     make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -77,10 +188,22 @@ func Serve(addr string) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting and waits for in-flight connections to drain.
+// Stats returns a snapshot of the abuse counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops accepting, severs live connections, and waits for handlers
+// to drain. A stalled client cannot block it: its connection is closed out
+// from under its handler.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
@@ -94,31 +217,122 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
 			s.handle(conn)
 		}()
 	}
 }
 
+// deadlineReader re-arms the connection's read deadline before every read,
+// so the deadline bounds inactivity rather than total connection lifetime.
+type deadlineReader struct {
+	conn net.Conn
+	d    time.Duration
+}
+
+func (r *deadlineReader) Read(p []byte) (int, error) {
+	//lint:ignore nosystime read deadline on a real TCP connection; wall clock never reaches simulation state
+	if err := r.conn.SetReadDeadline(time.Now().Add(r.d)); err != nil {
+		return 0, err
+	}
+	return r.conn.Read(p)
+}
+
 func (s *Server) handle(conn net.Conn) {
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var r io.Reader = conn
+	if s.cfg.ReadTimeout > 0 {
+		r = &deadlineReader{conn: conn, d: s.cfg.ReadTimeout}
+	}
+	sc := bufio.NewScanner(r)
+	initial := 64 << 10
+	if initial > s.cfg.MaxLineBytes {
+		initial = s.cfg.MaxLineBytes
+	}
+	sc.Buffer(make([]byte, 0, initial), s.cfg.MaxLineBytes)
 	for sc.Scan() {
-		var msg Message
-		if err := json.Unmarshal(sc.Bytes(), &msg); err != nil {
-			fmt.Fprintf(conn, `{"error":%q}`+"\n", err.Error())
-			return
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
 		}
-		if err := s.ingest(&msg); err != nil {
+		msg, err := ParseMessage(line)
+		if err != nil {
+			s.count(func(st *ServerStats) { st.Malformed++ })
 			fmt.Fprintf(conn, `{"error":%q}`+"\n", err.Error())
-			return
+			continue
+		}
+		if msg.Seq > 0 && s.alreadyAcked(msg.Client, msg.Seq) {
+			s.count(func(st *ServerStats) { st.Duplicates++ })
+			fmt.Fprintf(conn, `{"ack":%d}`+"\n", msg.Seq)
+			continue
+		}
+		if err := s.ingest(msg); err != nil {
+			s.count(func(st *ServerStats) { st.Rejected++ })
+			if msg.Seq > 0 {
+				// A nak tells the client to drop the message rather than
+				// resubmit it forever.
+				fmt.Fprintf(conn, `{"nak":%d,"error":%q}`+"\n", msg.Seq, err.Error())
+			} else {
+				fmt.Fprintf(conn, `{"error":%q}`+"\n", err.Error())
+			}
+			continue
+		}
+		if msg.Seq > 0 {
+			s.markAcked(msg.Client, msg.Seq)
+			fmt.Fprintf(conn, `{"ack":%d}`+"\n", msg.Seq)
+		}
+	}
+	switch err := sc.Err(); {
+	case err == nil:
+	case errors.Is(err, bufio.ErrTooLong):
+		s.count(func(st *ServerStats) { st.Oversized++ })
+		fmt.Fprintf(conn, `{"error":%q}`+"\n",
+			fmt.Sprintf("line exceeds %d bytes", s.cfg.MaxLineBytes))
+	default:
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			s.count(func(st *ServerStats) { st.TimedOut++ })
 		}
 	}
 }
 
+func (s *Server) count(f func(*ServerStats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+func (s *Server) alreadyAcked(client string, seq int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return seq <= s.acked[client]
+}
+
+func (s *Server) markAcked(client string, seq int64) {
+	s.mu.Lock()
+	if seq > s.acked[client] {
+		s.acked[client] = seq
+	}
+	s.mu.Unlock()
+}
+
+// ingest stores one validated message. Validation lives in ParseMessage;
+// by the time a message reaches here its payload is present and singular.
 func (s *Server) ingest(msg *Message) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -182,7 +396,8 @@ func (s *Server) Diagnose() *diagnose.Diagnosis {
 	})
 }
 
-// Client is a host agent's connection to the analyzer.
+// Client is a host agent's connection to the analyzer (fire-and-forget; no
+// sequence numbers, no resubmission). ReliableClient adds both.
 type Client struct {
 	conn net.Conn
 	w    *bufio.Writer

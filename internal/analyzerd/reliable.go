@@ -1,0 +1,254 @@
+package analyzerd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/telemetry"
+	"vedrfolnir/internal/wire"
+)
+
+// ClientConfig tunes the reliable submission path.
+type ClientConfig struct {
+	// ID names this client in the server's per-client dedup state; every
+	// host agent must use a distinct ID. Required.
+	ID string
+	// MaxAttempts bounds connection attempts per Flush (default 5).
+	MaxAttempts int
+	// BackoffBase is the first reconnect delay; it doubles per attempt up
+	// to BackoffMax (defaults 10ms and 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// AckTimeout bounds one ack-read (default 10s): a server that stops
+	// replying counts as a failed attempt instead of a hang.
+	AckTimeout time.Duration
+	// Sleep waits between reconnect attempts; tests inject a no-op to
+	// avoid real delays. Nil uses time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// ClientStats counts the reliability machinery's work.
+type ClientStats struct {
+	// Reconnects counts re-dials after a connection failure.
+	Reconnects int
+	// Resubmitted counts messages sent again after a failure (the server
+	// suppresses the ones it had already ingested).
+	Resubmitted int
+	// Rejected counts messages the server nak'd; they are dropped rather
+	// than resubmitted forever.
+	Rejected int
+}
+
+type pendingMsg struct {
+	seq  int64
+	line []byte
+}
+
+// ReliableClient is a host agent's at-least-once submission path: every
+// message carries a per-client sequence number, Flush writes all buffered
+// messages and waits for the server's acks, and a broken or stalled
+// connection triggers reconnection with exponential backoff followed by
+// resubmission of everything unacked. Combined with the server's dedup
+// highwater this yields exactly-once ingestion across arbitrary connection
+// failures. Not safe for concurrent use.
+type ReliableClient struct {
+	addr string
+	cfg  ClientConfig
+
+	conn    net.Conn
+	br      *bufio.Reader
+	seq     int64
+	pending []pendingMsg
+
+	// Stats counts reconnects, resubmissions, and rejections.
+	Stats ClientStats
+}
+
+// NewReliableClient builds a client for the given analyzer address. No
+// connection is made until the first Flush, so a client can buffer while
+// the analyzer is still coming up.
+func NewReliableClient(addr string, cfg ClientConfig) (*ReliableClient, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("analyzerd: ClientConfig.ID is required")
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 10 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = time.Second
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 10 * time.Second
+	}
+	if cfg.Sleep == nil {
+		//lint:ignore nosystime reconnect backoff on a real network client; never runs inside the simulator
+		cfg.Sleep = time.Sleep
+	}
+	return &ReliableClient{addr: addr, cfg: cfg}, nil
+}
+
+// Pending returns how many submitted messages await acknowledgement.
+func (rc *ReliableClient) Pending() int { return len(rc.pending) }
+
+func (rc *ReliableClient) enqueue(msg Message) error {
+	rc.seq++
+	msg.Seq = rc.seq
+	msg.Client = rc.cfg.ID
+	line, err := json.Marshal(msg)
+	if err != nil {
+		rc.seq--
+		return fmt.Errorf("analyzerd: %w", err)
+	}
+	rc.pending = append(rc.pending, pendingMsg{seq: msg.Seq, line: append(line, '\n')})
+	return nil
+}
+
+// SendStep buffers a step record for the next Flush.
+func (rc *ReliableClient) SendStep(rec collective.StepRecord) error {
+	dto := wire.FromStepRecord(rec)
+	return rc.enqueue(Message{Type: TypeStep, Step: &dto})
+}
+
+// SendReport buffers a telemetry report for the next Flush.
+func (rc *ReliableClient) SendReport(rep *telemetry.Report) error {
+	dto := wire.FromReport(rep)
+	return rc.enqueue(Message{Type: TypeReport, Report: &dto})
+}
+
+// SendCF buffers one collective-flow announcement for the next Flush.
+func (rc *ReliableClient) SendCF(flow fabric.FlowKey) error {
+	dto := wire.FromFlow(flow)
+	return rc.enqueue(Message{Type: TypeCF, CF: &dto})
+}
+
+// Flush delivers every buffered message and waits for its ack, retrying
+// through connection failures with exponential backoff. It returns nil
+// once nothing is pending; after MaxAttempts failed attempts the pending
+// buffer is retained so a later Flush (or Close) can try again.
+func (rc *ReliableClient) Flush() error {
+	if len(rc.pending) == 0 {
+		return nil
+	}
+	backoff := rc.cfg.BackoffBase
+	var lastErr error
+	for attempt := 0; attempt < rc.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rc.cfg.Sleep(backoff)
+			backoff *= 2
+			if backoff > rc.cfg.BackoffMax {
+				backoff = rc.cfg.BackoffMax
+			}
+		}
+		err := rc.attempt(attempt > 0)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		rc.dropConn()
+	}
+	return fmt.Errorf("analyzerd: flush failed after %d attempts: %w",
+		rc.cfg.MaxAttempts, lastErr)
+}
+
+// attempt writes all pending messages on a (re)established connection and
+// consumes ack/nak replies until the pending set drains or the connection
+// errors.
+func (rc *ReliableClient) attempt(isRetry bool) error {
+	if rc.conn == nil {
+		conn, err := net.Dial("tcp", rc.addr)
+		if err != nil {
+			return err
+		}
+		rc.conn = conn
+		rc.br = bufio.NewReader(conn)
+		if isRetry {
+			rc.Stats.Reconnects++
+		}
+	}
+	var buf bytes.Buffer
+	for _, p := range rc.pending {
+		buf.Write(p.line)
+	}
+	if isRetry {
+		rc.Stats.Resubmitted += len(rc.pending)
+	}
+	if _, err := rc.conn.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	type reply struct {
+		Ack   int64  `json:"ack"`
+		Nak   int64  `json:"nak"`
+		Error string `json:"error"`
+	}
+	for len(rc.pending) > 0 {
+		//lint:ignore nosystime ack-read deadline on a real TCP connection; wall clock never reaches simulation state
+		if err := rc.conn.SetReadDeadline(time.Now().Add(rc.cfg.AckTimeout)); err != nil {
+			return err
+		}
+		line, err := rc.br.ReadBytes('\n')
+		if err != nil {
+			return err
+		}
+		var rep reply
+		if err := json.Unmarshal(line, &rep); err != nil {
+			return fmt.Errorf("bad reply %q: %w", line, err)
+		}
+		switch {
+		case rep.Ack > 0:
+			rc.dropThrough(rep.Ack, false)
+		case rep.Nak > 0:
+			rc.dropThrough(rep.Nak, true)
+		default:
+			// An un-sequenced error reply means the server could not even
+			// parse our head-of-line message; resubmitting it would loop
+			// forever, so drop it as rejected.
+			rc.Stats.Rejected++
+			rc.pending = rc.pending[1:]
+		}
+	}
+	return nil
+}
+
+// dropThrough removes every pending message with seq <= through (acks are
+// cumulative: the server's highwater guarantees everything earlier was
+// ingested or suppressed as a duplicate). rejected marks the boundary
+// message as nak'd rather than delivered.
+func (rc *ReliableClient) dropThrough(through int64, rejected bool) {
+	kept := rc.pending[:0]
+	for _, p := range rc.pending {
+		if p.seq > through {
+			kept = append(kept, p)
+			continue
+		}
+		if rejected && p.seq == through {
+			rc.Stats.Rejected++
+		}
+	}
+	rc.pending = kept
+}
+
+func (rc *ReliableClient) dropConn() {
+	if rc.conn != nil {
+		rc.conn.Close()
+		rc.conn = nil
+		rc.br = nil
+	}
+}
+
+// Close flushes any remaining messages and closes the connection. The
+// flush error, if any, is returned — buffered records that never made it
+// are a real loss the caller should know about.
+func (rc *ReliableClient) Close() error {
+	err := rc.Flush()
+	rc.dropConn()
+	return err
+}

@@ -1,0 +1,189 @@
+// Package chaos is the deterministic fault-injection layer for the
+// diagnosis pipeline. The paper's detection loop leans on control traffic
+// that is assumed to arrive — polling queries and their telemetry
+// responses (§III-C3), and the highest-priority notification packets that
+// transfer detection opportunities (§III-C2, Figs 5–8) — but a production
+// fabric eats diagnosis traffic exactly when diagnosis matters most. This
+// package injects those faults on purpose, so the rest of the pipeline can
+// be held to a graceful-degradation contract: partial telemetry must yield
+// a lower-confidence diagnosis, never a hang, panic, or silently absent
+// report.
+//
+// Determinism contract: every fault decision is drawn from one *rand.Rand
+// seeded from (case seed, Config.Seed). The simulation kernel is
+// single-goroutine and its event order is deterministic, so the draw
+// sequence — and therefore the exact set of dropped/delayed/duplicated
+// packets, lost port responses, and monitor kills — is a pure function of
+// the seeds and the configuration. No wall clock, no global randomness
+// (vedrlint-enforced). A zero-rate configuration is fully transparent:
+// every tap delivers exactly one on-time copy and no fault counter moves,
+// so a chaos-wrapped run at 0% loss is byte-identical to an unwrapped one.
+package chaos
+
+import (
+	"math/rand"
+
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/topo"
+)
+
+// Config sets the per-class fault rates. All rates are probabilities in
+// [0, 1]; the zero Config disables the layer entirely.
+type Config struct {
+	// Seed perturbs the injected RNG independently of the case seed. A
+	// Config whose only non-zero field is Seed wires the chaos layer in
+	// with zero fault rates — the 0%-loss control used to verify the
+	// wrapped pipeline is byte-identical to the unwrapped one.
+	Seed int64
+
+	// Control-plane packet faults, applied to every packet routed through
+	// fabric.Network.DeliverControl (the notification packets of Fig 6).
+	NotifyDropRate  float64
+	NotifyDupRate   float64
+	NotifyDelayRate float64
+	// NotifyDelay is the extra latency added to a delayed (or duplicated)
+	// copy. A delay draw with NotifyDelay <= 0 has no effect.
+	NotifyDelay simtime.Duration
+
+	// PollLossRate loses a detection's entire poll round trip: the
+	// monitor's query (or the switches' responses) never completes, and
+	// the monitor must re-arm the detection (bounded retries, timeout
+	// derived from the estimated FCT).
+	PollLossRate float64
+
+	// PortLossRate loses a single visited switch port's telemetry
+	// response within an otherwise-successful poll, producing a partial
+	// report (Report.PortsMissed counts the holes).
+	PortLossRate float64
+
+	// MonitorKillRate is the probability that a given host monitor is
+	// killed once mid-collective, losing its volatile detection state.
+	MonitorKillRate float64
+	// MonitorKillWindow bounds the kill time: uniform in [0, window).
+	MonitorKillWindow simtime.Duration
+	// MonitorDownFor is how long a killed monitor stays dead before it
+	// restarts (it re-synchronizes at its next step start).
+	MonitorDownFor simtime.Duration
+}
+
+// Active reports whether the layer should be wired in at all. Note that a
+// Config with only Seed set is Active but injects nothing — that is the
+// byte-identity control.
+func (c Config) Active() bool { return c != Config{} }
+
+// UniformLoss returns the robustness grid's operating point: the same
+// loss rate applied to every control-packet class (notifications, poll
+// round trips, per-port telemetry responses).
+func UniformLoss(rate float64) Config {
+	return Config{NotifyDropRate: rate, PollLossRate: rate, PortLossRate: rate}
+}
+
+// Stats counts every injected fault, for assertions and result reporting.
+type Stats struct {
+	NotifyDropped    int
+	NotifyDelayed    int
+	NotifyDuplicated int
+	PollsLost        int
+	PortsLost        int
+	MonitorKills     int
+}
+
+// Total sums all injected faults.
+func (s Stats) Total() int {
+	return s.NotifyDropped + s.NotifyDelayed + s.NotifyDuplicated +
+		s.PollsLost + s.PortsLost + s.MonitorKills
+}
+
+// Chaos is one run's fault injector. It is not safe for concurrent use;
+// like everything else in a scenario run it lives on the single-goroutine
+// simulation kernel.
+type Chaos struct {
+	cfg Config
+	rng *rand.Rand
+
+	// Stats tallies the faults actually injected.
+	Stats Stats
+}
+
+// New builds the injector for one case. The RNG seed mixes the case seed
+// with Config.Seed so chaos draws are independent of the scenario's own
+// case-construction and kernel RNG streams.
+func New(cfg Config, caseSeed int64) *Chaos {
+	seed := caseSeed*-0x61C8864680B583EB + cfg.Seed ^ 0x5DEECE66D
+	return &Chaos{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Config returns the configuration the injector was built with.
+func (c *Chaos) Config() Config { return c.cfg }
+
+// TapControl implements fabric.ControlTap: the fate of one control packet.
+// The returned slice holds one extra latency per delivered copy; empty
+// means dropped. Draw order (drop, delay, duplicate) is fixed so the fault
+// sequence is stable for a given seed and rate set.
+func (c *Chaos) TapControl(from, to topo.NodeID, pkt *fabric.Packet) []simtime.Duration {
+	if c.cfg.NotifyDropRate > 0 && c.rng.Float64() < c.cfg.NotifyDropRate {
+		c.Stats.NotifyDropped++
+		return nil
+	}
+	fates := []simtime.Duration{0}
+	if c.cfg.NotifyDelayRate > 0 && c.cfg.NotifyDelay > 0 && c.rng.Float64() < c.cfg.NotifyDelayRate {
+		c.Stats.NotifyDelayed++
+		fates[0] = c.cfg.NotifyDelay
+	}
+	if c.cfg.NotifyDupRate > 0 && c.rng.Float64() < c.cfg.NotifyDupRate {
+		c.Stats.NotifyDuplicated++
+		fates = append(fates, fates[0]+c.cfg.NotifyDelay)
+	}
+	return fates
+}
+
+// PollLost implements monitor.PollGate: whether this detection's poll
+// round trip is lost entirely.
+func (c *Chaos) PollLost() bool {
+	if c.cfg.PollLossRate > 0 && c.rng.Float64() < c.cfg.PollLossRate {
+		c.Stats.PollsLost++
+		return true
+	}
+	return false
+}
+
+// PortLost implements telemetry.PortFault: whether one visited switch
+// port's response is lost within an otherwise-successful poll.
+func (c *Chaos) PortLost(p topo.PortID) bool {
+	if c.cfg.PortLossRate > 0 && c.rng.Float64() < c.cfg.PortLossRate {
+		c.Stats.PortsLost++
+		return true
+	}
+	return false
+}
+
+// Kill is one scheduled monitor kill/restart pair.
+type Kill struct {
+	Host      topo.NodeID
+	At        simtime.Time
+	RestartAt simtime.Time
+}
+
+// KillPlan draws the monitor kill schedule for the given hosts. Callers
+// must pass hosts in a deterministic (sorted) order — the draw sequence
+// follows it. A zero MonitorKillWindow pins every kill to time 0 (dead
+// from the start until restart).
+func (c *Chaos) KillPlan(hosts []topo.NodeID) []Kill {
+	if c.cfg.MonitorKillRate <= 0 {
+		return nil
+	}
+	var plan []Kill
+	for _, h := range hosts {
+		if c.rng.Float64() >= c.cfg.MonitorKillRate {
+			continue
+		}
+		c.Stats.MonitorKills++
+		var at simtime.Time
+		if c.cfg.MonitorKillWindow > 0 {
+			at = simtime.Time(c.rng.Int63n(int64(c.cfg.MonitorKillWindow)))
+		}
+		plan = append(plan, Kill{Host: h, At: at, RestartAt: at.Add(c.cfg.MonitorDownFor)})
+	}
+	return plan
+}

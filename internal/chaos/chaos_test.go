@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/topo"
+)
+
+func TestZeroConfigInactive(t *testing.T) {
+	if (Config{}).Active() {
+		t.Fatal("zero Config must be inactive")
+	}
+	if !(Config{Seed: 1}).Active() {
+		t.Fatal("Seed-only Config must be active (the byte-identity control)")
+	}
+	if !UniformLoss(0.01).Active() {
+		t.Fatal("UniformLoss must be active")
+	}
+}
+
+func TestUniformLossCoversAllClasses(t *testing.T) {
+	c := UniformLoss(0.05)
+	if c.NotifyDropRate != 0.05 || c.PollLossRate != 0.05 || c.PortLossRate != 0.05 {
+		t.Fatalf("UniformLoss(0.05) = %+v", c)
+	}
+}
+
+// TestZeroRateTransparent is the byte-identity contract at the unit level:
+// with all rates zero, every fault hook behaves as if the layer were
+// absent — one on-time packet copy, no lost polls or ports, no kills, and
+// no counter movement — regardless of how many draws happen.
+func TestZeroRateTransparent(t *testing.T) {
+	c := New(Config{Seed: 99}, 7)
+	hosts := []topo.NodeID{1, 2, 3, 4}
+	for i := 0; i < 1000; i++ {
+		fates := c.TapControl(1, 2, nil)
+		if len(fates) != 1 || fates[0] != 0 {
+			t.Fatalf("zero-rate tap returned %v, want one on-time copy", fates)
+		}
+		if c.PollLost() {
+			t.Fatal("zero-rate PollLost returned true")
+		}
+		if c.PortLost(topo.PortID{Node: 1, Port: 0}) {
+			t.Fatal("zero-rate PortLost returned true")
+		}
+	}
+	if plan := c.KillPlan(hosts); plan != nil {
+		t.Fatalf("zero-rate KillPlan = %v", plan)
+	}
+	if c.Stats != (Stats{}) {
+		t.Fatalf("zero-rate run moved counters: %+v", c.Stats)
+	}
+}
+
+// TestDrawDeterminism: two injectors with the same (config, case seed)
+// produce the same fault sequence; a different case seed produces a
+// different one (with overwhelming probability at these rates).
+func TestDrawDeterminism(t *testing.T) {
+	cfg := Config{
+		NotifyDropRate: 0.2, NotifyDupRate: 0.2,
+		NotifyDelayRate: 0.2, NotifyDelay: simtime.Duration(time.Microsecond),
+		PollLossRate: 0.2, PortLossRate: 0.2,
+	}
+	sequence := func(caseSeed int64) ([]int, Stats) {
+		c := New(cfg, caseSeed)
+		var seq []int
+		for i := 0; i < 200; i++ {
+			seq = append(seq, len(c.TapControl(1, 2, nil)))
+			if c.PollLost() {
+				seq = append(seq, -1)
+			}
+			if c.PortLost(topo.PortID{Node: 3, Port: 1}) {
+				seq = append(seq, -2)
+			}
+		}
+		return seq, c.Stats
+	}
+	seqA, statsA := sequence(42)
+	seqB, statsB := sequence(42)
+	if len(seqA) != len(seqB) {
+		t.Fatalf("same-seed sequences differ in length: %d vs %d", len(seqA), len(seqB))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("same-seed sequences diverge at %d", i)
+		}
+	}
+	if statsA != statsB {
+		t.Fatalf("same-seed stats differ: %+v vs %+v", statsA, statsB)
+	}
+	if statsA.Total() == 0 {
+		t.Fatal("20%% rates over 200 draws injected nothing; the RNG is not wired")
+	}
+	seqC, _ := sequence(43)
+	same := len(seqA) == len(seqC)
+	if same {
+		for i := range seqA {
+			if seqA[i] != seqC[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different case seeds produced identical fault sequences")
+	}
+}
+
+func TestTapControlFates(t *testing.T) {
+	// Forced delay + duplicate: every copy carries the configured delay and
+	// the duplicate trails the delayed original.
+	d := simtime.Duration(5 * time.Microsecond)
+	c := New(Config{NotifyDelayRate: 1, NotifyDelay: d, NotifyDupRate: 1}, 1)
+	fates := c.TapControl(1, 2, nil)
+	if len(fates) != 2 {
+		t.Fatalf("forced dup returned %d copies", len(fates))
+	}
+	if fates[0] != d || fates[1] != 2*d {
+		t.Fatalf("fates = %v, want [%v %v]", fates, d, 2*d)
+	}
+	// Forced drop wins over everything else.
+	c = New(Config{NotifyDropRate: 1, NotifyDupRate: 1}, 1)
+	if fates := c.TapControl(1, 2, nil); fates != nil {
+		t.Fatalf("forced drop returned copies: %v", fates)
+	}
+	if c.Stats.NotifyDropped != 1 || c.Stats.NotifyDuplicated != 0 {
+		t.Fatalf("drop stats: %+v", c.Stats)
+	}
+}
+
+func TestKillPlan(t *testing.T) {
+	hosts := []topo.NodeID{10, 11, 12}
+	window := simtime.Duration(100 * time.Microsecond)
+	down := simtime.Duration(30 * time.Microsecond)
+	c := New(Config{MonitorKillRate: 1, MonitorKillWindow: window, MonitorDownFor: down}, 5)
+	plan := c.KillPlan(hosts)
+	if len(plan) != len(hosts) {
+		t.Fatalf("rate-1 kill plan covers %d/%d hosts", len(plan), len(hosts))
+	}
+	for i, kill := range plan {
+		if kill.Host != hosts[i] {
+			t.Fatalf("kill %d host = %v, want %v (draw order must follow input order)", i, kill.Host, hosts[i])
+		}
+		if kill.At >= simtime.Time(window) {
+			t.Fatalf("kill at %v outside window %v", kill.At, window)
+		}
+		if kill.RestartAt != kill.At.Add(down) {
+			t.Fatalf("restart %v, want kill+%v", kill.RestartAt, down)
+		}
+	}
+	if c.Stats.MonitorKills != len(hosts) {
+		t.Fatalf("MonitorKills = %d", c.Stats.MonitorKills)
+	}
+	// Zero window pins kills to time 0.
+	c = New(Config{MonitorKillRate: 1, MonitorDownFor: down}, 5)
+	for _, kill := range c.KillPlan(hosts) {
+		if kill.At != 0 {
+			t.Fatalf("zero-window kill at %v, want 0", kill.At)
+		}
+	}
+}

@@ -72,13 +72,69 @@ type Finding struct {
 	Affected []fabric.FlowKey
 	// Injected marks a storm-signature root (pause without congestion).
 	Injected bool
+	// Confidence is the telemetry-coverage score behind this match: 1 when
+	// every poll completed and every visited port answered, lower when the
+	// signature was matched against partial telemetry.
+	Confidence float64
 }
 
 // FlowRating is the Eq. 3 overall contribution of one flow.
 type FlowRating struct {
 	Flow  fabric.FlowKey
 	Score float64
+	// Confidence discounts the rating for missing telemetry and missing
+	// step records (the Eq. 3 weights lean on both); 1 at full coverage.
+	Confidence float64
 }
+
+// Coverage quantifies how much of the expected observation the analyzer
+// actually received, the basis for all confidence annotations. A healthy
+// run scores 1.0 everywhere.
+type Coverage struct {
+	// PortsPolled counts switch-port records received across all reports;
+	// PortsMissed counts visited ports whose response was lost.
+	PortsPolled, PortsMissed int
+	// ReportsSeen counts telemetry reports received; PollsLost counts
+	// detection polls whose round trip never completed.
+	ReportsSeen, PollsLost int
+	// RecordsSeen counts step records received; RecordsExpected is the
+	// scheduled total (0 = unknown, treated as full coverage).
+	RecordsSeen, RecordsExpected int
+}
+
+// PortScore is the fraction of visited switch ports that answered.
+func (c Coverage) PortScore() float64 {
+	total := c.PortsPolled + c.PortsMissed
+	if total <= 0 {
+		return 1
+	}
+	return float64(c.PortsPolled) / float64(total)
+}
+
+// PollScore is the fraction of triggered detections whose poll completed.
+func (c Coverage) PollScore() float64 {
+	total := c.ReportsSeen + c.PollsLost
+	if total <= 0 {
+		return 1
+	}
+	return float64(c.ReportsSeen) / float64(total)
+}
+
+// TelemetryScore combines port- and poll-level losses: the share of
+// intended network observation that actually reached the analyzer.
+func (c Coverage) TelemetryScore() float64 { return c.PortScore() * c.PollScore() }
+
+// StepScore is the fraction of expected step records received (1 when the
+// expectation is unknown).
+func (c Coverage) StepScore() float64 {
+	if c.RecordsExpected <= 0 || c.RecordsSeen >= c.RecordsExpected {
+		return 1
+	}
+	return float64(c.RecordsSeen) / float64(c.RecordsExpected)
+}
+
+// Score is the overall diagnosis confidence.
+func (c Coverage) Score() float64 { return c.TelemetryScore() * c.StepScore() }
 
 // Diagnosis is the analyzer's structured result.
 type Diagnosis struct {
@@ -95,6 +151,10 @@ type Diagnosis struct {
 	Graph *provenance.Graph
 	// WaitGraph is the built waiting graph.
 	WaitGraph *waitgraph.Graph
+	// Coverage is the observation completeness behind this diagnosis;
+	// Confidence is its overall Score (1 at full coverage).
+	Coverage   Coverage
+	Confidence float64
 }
 
 // Input bundles everything the analyzer consumes.
@@ -119,6 +179,11 @@ type Input struct {
 	// IncastFanIn is the minimum number of same-destination culprits at
 	// one port to classify the contention as incast (default 3).
 	IncastFanIn int
+	// RecordsExpected is the scheduled step-record total (0 = unknown)
+	// and PollsLost the number of detections whose poll round trip never
+	// completed; both feed the confidence annotations.
+	RecordsExpected int
+	PollsLost       int
 }
 
 // Analyze runs the full §III-D pipeline.
@@ -141,6 +206,28 @@ func Analyze(in Input) *Diagnosis {
 
 	// 3. Contributor rating (Eqs. 2 and 3).
 	d.rate(in)
+
+	// 4. Confidence: score the observation coverage and annotate every
+	// finding and rating with it, so a diagnosis built from partial
+	// telemetry says so instead of presenting as fully informed.
+	d.Coverage = Coverage{
+		RecordsSeen:     len(in.Records),
+		RecordsExpected: in.RecordsExpected,
+		ReportsSeen:     len(in.Reports),
+		PollsLost:       in.PollsLost,
+	}
+	for _, rep := range in.Reports {
+		d.Coverage.PortsPolled += len(rep.Ports)
+		d.Coverage.PortsMissed += rep.PortsMissed
+	}
+	d.Confidence = d.Coverage.Score()
+	telem := d.Coverage.TelemetryScore()
+	for i := range d.Findings {
+		d.Findings[i].Confidence = telem
+	}
+	for i := range d.Ratings {
+		d.Ratings[i].Confidence = d.Confidence
+	}
 	return d
 }
 
@@ -495,10 +582,23 @@ func (d *Diagnosis) Summary() string {
 		if len(f.Culprits) > 0 {
 			fmt.Fprintf(&b, " culprits=%v", f.Culprits)
 		}
+		if f.Confidence < 1 {
+			fmt.Fprintf(&b, " conf=%.2f", f.Confidence)
+		}
 		b.WriteString("\n")
 	}
 	for _, r := range d.Ratings {
-		fmt.Fprintf(&b, "rating %v = %.0f\n", r.Flow, r.Score)
+		fmt.Fprintf(&b, "rating %v = %.0f", r.Flow, r.Score)
+		if r.Confidence < 1 {
+			fmt.Fprintf(&b, " conf=%.2f", r.Confidence)
+		}
+		b.WriteString("\n")
+	}
+	if d.Confidence < 1 {
+		c := d.Coverage
+		fmt.Fprintf(&b, "confidence %.2f (ports %d/%d, polls %d lost, steps %d/%d)\n",
+			d.Confidence, c.PortsPolled, c.PortsPolled+c.PortsMissed,
+			c.PollsLost, c.RecordsSeen, c.RecordsExpected)
 	}
 	return b.String()
 }

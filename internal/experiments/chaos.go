@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"vedrfolnir/internal/scenario"
+	"vedrfolnir/internal/sweep"
+)
+
+// ChaosLossRates is the robustness grid's control-packet loss axis:
+// healthy, 0.1%, 1%, and 5% uniform loss over the diagnosis traffic
+// (notification packets, poll round trips, per-port telemetry responses).
+var ChaosLossRates = []float64{0, 0.001, 0.01, 0.05}
+
+// ChaosRow is one (scenario, loss rate) aggregate of the robustness grid:
+// how the paper's precision/recall — and the new confidence annotation —
+// hold up as the fabric eats the diagnosis traffic.
+type ChaosRow struct {
+	Kind     scenario.AnomalyKind
+	LossRate float64
+	Cases    int
+	// Failed counts cases whose simulation failed (captured per-job);
+	// Incomplete counts cases that hit the simulation deadline. Both are
+	// excluded from the aggregates.
+	Failed     int
+	Incomplete int
+
+	Metrics scenario.Metrics
+	// MeanConfidence averages the diagnosis confidence over the cases
+	// that completed (1.0 at zero loss, by construction).
+	MeanConfidence float64
+}
+
+// ChaosJobs is the robustness grid: every §IV-A anomaly kind × loss rate ×
+// seed under Vedrfolnir. Grid order is merge order; keep it stable.
+func ChaosJobs(counts map[scenario.AnomalyKind]int) []sweep.Job {
+	var jobs []sweep.Job
+	for _, kind := range Kinds {
+		n := counts[kind]
+		if n == 0 {
+			continue
+		}
+		for _, rate := range ChaosLossRates {
+			for seed := 0; seed < n; seed++ {
+				jobs = append(jobs, sweep.Job{
+					Kind: kind, Seed: int64(seed), System: scenario.Vedrfolnir,
+					Params: sweep.Params{ChaosLoss: rate},
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// Chaos runs the robustness grid and aggregates precision/recall/confidence
+// per (scenario, loss rate).
+func Chaos(cfg scenario.Config, counts map[scenario.AnomalyKind]int, sw sweep.Options) ([]ChaosRow, error) {
+	sum, err := finish(sweep.Run(ChaosJobs(counts), sweep.Cases(cfg, scenario.DefaultRunOptions(cfg)), sw))
+	if err != nil {
+		return nil, err
+	}
+	next := cursor(sum)
+	var out []ChaosRow
+	for _, kind := range Kinds {
+		n := counts[kind]
+		if n == 0 {
+			continue
+		}
+		for _, rate := range ChaosLossRates {
+			row := ChaosRow{Kind: kind, LossRate: rate, Cases: n}
+			var confSum float64
+			var confN int
+			for seed := 0; seed < n; seed++ {
+				r := next()
+				if r.Err != "" {
+					row.Failed++
+					continue
+				}
+				if !r.Completed {
+					row.Incomplete++
+					continue
+				}
+				row.Metrics.Add(r.Outcome)
+				confSum += r.Confidence
+				confN++
+			}
+			if confN > 0 {
+				row.MeanConfidence = confSum / float64(confN)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}

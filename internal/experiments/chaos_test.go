@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"testing"
+
+	"vedrfolnir/internal/scenario"
+	"vedrfolnir/internal/sweep"
+)
+
+func TestChaosJobsShape(t *testing.T) {
+	counts := tinyCounts()
+	jobs := ChaosJobs(counts)
+	want := 0
+	for _, kind := range Kinds {
+		want += counts[kind] * len(ChaosLossRates)
+	}
+	if len(jobs) != want {
+		t.Fatalf("jobs = %d, want %d", len(jobs), want)
+	}
+	keys := map[string]bool{}
+	for _, j := range jobs {
+		if j.System != scenario.Vedrfolnir {
+			t.Fatalf("chaos grid runs %v, want vedrfolnir only", j.System)
+		}
+		if keys[j.Key()] {
+			t.Fatalf("duplicate job key %q", j.Key())
+		}
+		keys[j.Key()] = true
+	}
+}
+
+func TestChaosPlanned(t *testing.T) {
+	plan, err := PlanSweep("chaos", false, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Jobs) == 0 || plan.Exec == nil {
+		t.Fatal("chaos plan is empty")
+	}
+	found := false
+	for _, n := range SweepNames() {
+		if n == "chaos" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("chaos missing from SweepNames")
+	}
+}
+
+// TestChaosDegradation is the PR's acceptance sweep: across every §IV-A
+// scenario and the full loss-rate axis, the chaos-wrapped pipeline must
+// complete every case and yield a diagnosis — no per-job failures (panics,
+// hangs caught by the watchdog) and no deadline hits — with confidence 1 at
+// zero loss and a sane confidence under loss. Runs on a parallel pool and
+// under -race in CI.
+func TestChaosDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	cfg := fastConfig()
+	counts := map[scenario.AnomalyKind]int{
+		scenario.Contention:      2,
+		scenario.Incast:          2,
+		scenario.PFCStorm:        2,
+		scenario.PFCBackpressure: 2,
+	}
+	rows, err := Chaos(cfg, counts, sweep.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * len(ChaosLossRates); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Failed != 0 {
+			t.Errorf("%v @ %.1f%%: %d case(s) failed outright", r.Kind, r.LossRate*100, r.Failed)
+		}
+		if r.Incomplete != 0 {
+			t.Errorf("%v @ %.1f%%: %d case(s) hit the deadline", r.Kind, r.LossRate*100, r.Incomplete)
+		}
+		if got := r.Metrics.TP + r.Metrics.FP + r.Metrics.FN; got != r.Cases-r.Failed-r.Incomplete {
+			t.Errorf("%v @ %.1f%%: outcome accounting broken: %+v over %d cases",
+				r.Kind, r.LossRate*100, r.Metrics, r.Cases)
+		}
+		if r.LossRate == 0 {
+			if !(r.MeanConfidence > 0.999) {
+				t.Errorf("%v @ 0%%: confidence %v, want 1 (byte-identity control)",
+					r.Kind, r.MeanConfidence)
+			}
+		} else if r.MeanConfidence <= 0 || r.MeanConfidence > 1 {
+			t.Errorf("%v @ %.1f%%: confidence %v outside (0,1]",
+				r.Kind, r.LossRate*100, r.MeanConfidence)
+		}
+	}
+
+	// Determinism across pool widths: the robustness grid is still a
+	// simulation, so workers=1 must reproduce the parallel rows exactly.
+	seq, err := Chaos(cfg, counts, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != seq[i] {
+			t.Errorf("row %d differs across pool widths:\n%+v\nvs\n%+v", i, rows[i], seq[i])
+		}
+	}
+}

@@ -21,10 +21,11 @@ type SweepPlan struct {
 }
 
 // SweepNames lists the plannable sweeps: the paper's case-grid figures
-// plus the extension scenarios and slowdown distributions. fig9 and fig10
-// read the same sweep, so only fig9 is a distinct plan.
+// plus the extension scenarios, slowdown distributions, and the chaos
+// robustness grid. fig9 and fig10 read the same sweep, so only fig9 is a
+// distinct plan.
 func SweepNames() []string {
-	return []string{"fig9", "fig12", "fig13a", "fig13b", "ext", "slowdowns"}
+	return []string{"fig9", "fig12", "fig13a", "fig13b", "ext", "slowdowns", "chaos"}
 }
 
 // PlanSweep builds the named sweep at the given census and workload scale.
@@ -58,6 +59,8 @@ func PlanSweep(name string, paper bool, scaleDen float64) (*SweepPlan, error) {
 		plan.Jobs = ExtensionJobs(counts[scenario.Contention])
 	case "slowdowns":
 		plan.Jobs = SlowdownJobs(counts)
+	case "chaos":
+		plan.Jobs = ChaosJobs(counts)
 	default:
 		return nil, fmt.Errorf("experiments: unknown sweep %q (have %v)", name, SweepNames())
 	}

@@ -86,6 +86,13 @@ func (s WaitState) String() string {
 	return "non-waiting"
 }
 
+// PollGate decides, per detection, whether the poll round trip is lost —
+// the query or the switches' responses eaten by the fabric under diagnosis.
+// internal/chaos implements this; nil means every poll completes.
+type PollGate interface {
+	PollLost() bool
+}
+
 // NotifyPayload is the content of a notification packet (Fig 6): the sender
 // and the detection opportunities being transferred.
 type NotifyPayload struct {
@@ -127,6 +134,16 @@ type Monitor struct {
 	// Transferred counts opportunities handed away; Received counts
 	// opportunities accepted from notifications.
 	Transferred, Received int
+
+	// Gate, when set, can lose a detection's poll round trip (fault
+	// injection); the monitor re-arms the detection with bounded retries.
+	Gate PollGate
+	// PollsLost counts poll round trips the Gate ate; PollRetries counts
+	// re-armed detections. Both feed the diagnosis confidence.
+	PollsLost, PollRetries int
+	// Kills counts how many times this monitor was killed mid-collective.
+	Kills int
+	dead  bool
 
 	lastSample simtime.Time
 	stallSeq   int // invalidates outstanding watchdog timers
@@ -231,6 +248,24 @@ func sortedHosts(ms map[topo.NodeID]*Monitor) []topo.NodeID {
 	return out
 }
 
+// PollsLost sums lost poll round trips across monitors (fault injection).
+func (s *System) PollsLost() int {
+	n := 0
+	for _, m := range s.Monitors {
+		n += m.PollsLost
+	}
+	return n
+}
+
+// Kills sums monitor kills across monitors (fault injection).
+func (s *System) Kills() int {
+	n := 0
+	for _, m := range s.Monitors {
+		n += m.Kills
+	}
+	return n
+}
+
 // WaitState derives Table I's determination from the SSQ/RSQ indices.
 func (m *Monitor) WaitState() WaitState {
 	if m.Run.SendIndex(m.Host) < m.Run.RecvIndex(m.Host) {
@@ -244,6 +279,9 @@ func (m *Monitor) WaitState() WaitState {
 // Hawkeye's fixed threshold, §III-C2), the trigger budget, and the
 // FCT-derived minimum trigger spacing.
 func (m *Monitor) HandleStepStart(step int, flow fabric.FlowKey) {
+	if m.dead {
+		return
+	}
 	m.curStep = step
 	m.curFlow = flow
 	m.stepActive = true
@@ -286,7 +324,7 @@ func (m *Monitor) armStallWatchdog() {
 	armedAt := m.K.Now()
 	step := m.curStep
 	m.K.After(m.Cfg.StallTimeout, func() {
-		if seq != m.stallSeq || !m.stepActive || m.curStep != step {
+		if m.dead || seq != m.stallSeq || !m.stepActive || m.curStep != step {
 			return
 		}
 		if m.lastSample > armedAt {
@@ -301,7 +339,7 @@ func (m *Monitor) armStallWatchdog() {
 		m.Triggers++
 		m.StallTriggers++
 		m.lastTrigger = m.K.Now()
-		m.Reports = append(m.Reports, m.Col.Poll(m.curFlow, m.Cfg.Window))
+		m.collect(m.curFlow, maxPollRetries)
 		m.armStallWatchdog()
 	})
 }
@@ -310,7 +348,7 @@ func (m *Monitor) armStallWatchdog() {
 // detection opportunities to the monitor of the flow waiting on this one
 // via a highest-priority notification packet (Fig 7).
 func (m *Monitor) HandleStepEnd(rec collective.StepRecord) {
-	if rec.Step != m.curStep {
+	if m.dead || rec.Step != m.curStep {
 		return
 	}
 	m.stepActive = false
@@ -357,6 +395,9 @@ func (m *Monitor) HandleStepEnd(rec collective.StepRecord) {
 
 // HandleNotify accepts transferred detection opportunities.
 func (m *Monitor) HandleNotify(pkt *fabric.Packet) {
+	if m.dead {
+		return
+	}
 	payload, ok := pkt.Payload.(NotifyPayload)
 	if !ok || !m.Cfg.Adaptive {
 		return
@@ -368,7 +409,7 @@ func (m *Monitor) HandleNotify(pkt *fabric.Packet) {
 // HandleRTTSample applies the trigger decision of Fig 8 to one RTT
 // observation from the NIC.
 func (m *Monitor) HandleRTTSample(s rdma.RTTSample) {
-	if !m.stepActive || s.Flow != m.curFlow {
+	if m.dead || !m.stepActive || s.Flow != m.curFlow {
 		return
 	}
 	m.lastSample = m.K.Now()
@@ -391,8 +432,70 @@ func (m *Monitor) HandleRTTSample(s rdma.RTTSample) {
 	}
 	m.lastTrigger = now
 	m.Triggers++
-	m.Reports = append(m.Reports, m.Col.Poll(s.Flow, m.Cfg.Window))
+	m.collect(s.Flow, maxPollRetries)
 }
+
+// maxPollRetries bounds how many times a detection whose poll round trip
+// was lost is re-armed before the opportunity is abandoned.
+const maxPollRetries = 2
+
+// collect performs one detection's telemetry poll. When the Gate loses the
+// round trip, the detection re-arms after the FCT-derived trigger spacing —
+// the same timescale the paper uses to pace detections within a step — and
+// retries a bounded number of times, so a fully partitioned control plane
+// degrades to missing reports instead of an unbounded poll loop. A retry
+// only fires while the step it was armed in is still the active one.
+func (m *Monitor) collect(flow fabric.FlowKey, retriesLeft int) {
+	if m.Gate != nil && m.Gate.PollLost() {
+		m.PollsLost++
+		if retriesLeft <= 0 {
+			return
+		}
+		step := m.curStep
+		m.K.After(m.retryTimeout(), func() {
+			if m.dead || !m.stepActive || m.curStep != step {
+				return
+			}
+			m.PollRetries++
+			m.collect(flow, retriesLeft-1)
+		})
+		return
+	}
+	m.Reports = append(m.Reports, m.Col.Poll(flow, m.Cfg.Window))
+}
+
+// retryTimeout derives the lost-poll re-arm delay from the step's estimated
+// FCT (the detection spacing), falling back to the RTT threshold and then
+// the telemetry window for configurations without either.
+func (m *Monitor) retryTimeout() simtime.Duration {
+	if m.minInterval > 0 {
+		return m.minInterval
+	}
+	if m.threshold > 0 {
+		return m.threshold
+	}
+	return m.Cfg.Window
+}
+
+// Kill simulates the host monitor process dying mid-collective: volatile
+// detection state (budget, active step, armed watchdogs) is lost and every
+// event is ignored until Restart. Reports already produced survive — they
+// model records already streamed to the analyzer.
+func (m *Monitor) Kill() {
+	m.dead = true
+	m.Kills++
+	m.stepActive = false
+	m.budget = 0
+	m.stallSeq++ // cancel outstanding watchdog timers
+}
+
+// Restart revives a killed monitor. It re-synchronizes at its next step
+// start; samples from a step already in flight are ignored because no
+// threshold is known for it.
+func (m *Monitor) Restart() { m.dead = false }
+
+// Dead reports whether the monitor is currently killed (tests).
+func (m *Monitor) Dead() bool { return m.dead }
 
 // Budget exposes the current remaining detection opportunities (tests).
 func (m *Monitor) Budget() int { return m.budget }

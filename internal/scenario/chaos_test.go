@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"vedrfolnir/internal/chaos"
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/wire"
+)
+
+// serializeRun reduces a run to its externally observable bytes: the wire
+// bundle of everything the analyzer would ingest plus the diagnosis text.
+func serializeRun(t *testing.T, res Result) ([]byte, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := wire.NewBundle(res.Records, res.Reports, res.CFs).Write(&buf); err != nil {
+		t.Fatalf("serializing bundle: %v", err)
+	}
+	return buf.Bytes(), res.Diag.Summary()
+}
+
+// TestChaosZeroRateByteIdentical is the acceptance gate for the chaos
+// layer's transparency: wiring the layer in with zero fault rates (only
+// Seed set, so Active() is true and every hook is installed) must leave the
+// pipeline byte-identical to an unwrapped run — same serialized bundle,
+// same diagnosis text, same outcome and overhead.
+func TestChaosZeroRateByteIdentical(t *testing.T) {
+	cfg := testConfig()
+	for _, kind := range []AnomalyKind{Contention, Incast, PFCStorm, PFCBackpressure} {
+		cs := mustCase(t, kind, 17, cfg)
+		plain := mustRun(t, cs, Vedrfolnir, cfg, DefaultRunOptions(cfg))
+		opts := DefaultRunOptions(cfg)
+		opts.Chaos = chaos.Config{Seed: 1}
+		wrapped := mustRun(t, cs, Vedrfolnir, cfg, opts)
+
+		bundleA, summaryA := serializeRun(t, plain)
+		bundleB, summaryB := serializeRun(t, wrapped)
+		if !bytes.Equal(bundleA, bundleB) {
+			t.Errorf("%v: zero-rate chaos changed the serialized bundle (%d vs %d bytes)",
+				kind, len(bundleA), len(bundleB))
+		}
+		if summaryA != summaryB {
+			t.Errorf("%v: zero-rate chaos changed the diagnosis:\n%s\n---\n%s",
+				kind, summaryA, summaryB)
+		}
+		if plain.Outcome != wrapped.Outcome || plain.Overhead != wrapped.Overhead {
+			t.Errorf("%v: zero-rate chaos changed outcome/overhead", kind)
+		}
+		if wrapped.ChaosStats.Total() != 0 {
+			t.Errorf("%v: zero-rate chaos injected faults: %+v", kind, wrapped.ChaosStats)
+		}
+		if wrapped.Confidence < 1 {
+			t.Errorf("%v: zero-rate chaos lowered confidence to %v", kind, wrapped.Confidence)
+		}
+	}
+}
+
+// TestChaosDegradedStillDiagnoses: at 1% uniform control-packet loss every
+// §IV-A scenario must still complete and yield a diagnosis object with a
+// sane confidence — no panics, no hangs, no silently absent reports.
+func TestChaosDegradedStillDiagnoses(t *testing.T) {
+	cfg := testConfig()
+	opts := DefaultRunOptions(cfg)
+	opts.Chaos = chaos.UniformLoss(0.01)
+	for _, kind := range []AnomalyKind{Contention, Incast, PFCStorm, PFCBackpressure} {
+		res := mustRun(t, mustCase(t, kind, 5, cfg), Vedrfolnir, cfg, opts)
+		if !res.Completed {
+			t.Errorf("%v: run incomplete under 1%% loss", kind)
+		}
+		if res.Diag == nil {
+			t.Fatalf("%v: no diagnosis under 1%% loss", kind)
+		}
+		if res.Confidence <= 0 || res.Confidence > 1 {
+			t.Errorf("%v: confidence %v outside (0,1]", kind, res.Confidence)
+		}
+	}
+}
+
+// TestChaosDeterminism: identical chaos config and case seed reproduce the
+// same faults, diagnosis, and confidence — the layer is part of the
+// simulation's determinism contract, not an exception to it.
+func TestChaosDeterminism(t *testing.T) {
+	cfg := testConfig()
+	opts := DefaultRunOptions(cfg)
+	opts.Chaos = chaos.UniformLoss(0.05)
+	cs := mustCase(t, Contention, 9, cfg)
+	a := mustRun(t, cs, Vedrfolnir, cfg, opts)
+	b := mustRun(t, cs, Vedrfolnir, cfg, opts)
+	if a.ChaosStats != b.ChaosStats {
+		t.Fatalf("fault injection not deterministic: %+v vs %+v", a.ChaosStats, b.ChaosStats)
+	}
+	if a.Confidence != b.Confidence {
+		t.Fatalf("confidence not deterministic: %v vs %v", a.Confidence, b.Confidence)
+	}
+	if a.Diag.Summary() != b.Diag.Summary() {
+		t.Fatalf("diagnoses differ under identical chaos:\n%s\n---\n%s",
+			a.Diag.Summary(), b.Diag.Summary())
+	}
+}
+
+// TestChaosPortLossLowersConfidence: heavy per-port telemetry loss must be
+// visible in the diagnosis — holes counted in the reports, confidence
+// strictly below 1 — while the run itself still completes.
+func TestChaosPortLossLowersConfidence(t *testing.T) {
+	cfg := testConfig()
+	opts := DefaultRunOptions(cfg)
+	opts.Chaos = chaos.Config{PortLossRate: 0.5}
+	res := mustRun(t, mustCase(t, Contention, 0, cfg), Vedrfolnir, cfg, opts)
+	if !res.Completed {
+		t.Fatal("incomplete under port loss")
+	}
+	if res.ChaosStats.PortsLost == 0 {
+		t.Fatal("50% port loss injected nothing; the telemetry hook is not wired")
+	}
+	missed := 0
+	for _, rep := range res.Reports {
+		missed += rep.PortsMissed
+	}
+	if missed == 0 {
+		t.Fatal("ports were lost but no report counts a hole")
+	}
+	if !(res.Confidence < 1) {
+		t.Fatalf("confidence %v despite %d lost ports", res.Confidence, res.ChaosStats.PortsLost)
+	}
+	if res.Confidence <= 0 {
+		t.Fatalf("confidence %v collapsed to zero", res.Confidence)
+	}
+}
+
+// TestChaosTotalPollLossBoundedRetries: with every poll round trip lost,
+// the monitor's bounded re-arm must give up instead of retrying forever —
+// the run completes, zero telemetry is collected, and the diagnosis
+// degrades to a low-confidence FN rather than a hang.
+func TestChaosTotalPollLossBoundedRetries(t *testing.T) {
+	cfg := testConfig()
+	opts := DefaultRunOptions(cfg)
+	opts.Chaos = chaos.Config{PollLossRate: 1}
+	res := mustRun(t, mustCase(t, Contention, 3, cfg), Vedrfolnir, cfg, opts)
+	if !res.Completed {
+		t.Fatal("total poll loss prevented completion (unbounded retry loop?)")
+	}
+	if res.ChaosStats.PollsLost == 0 {
+		t.Fatal("total poll loss injected nothing; the poll gate is not wired")
+	}
+	if res.ReportCount != 0 {
+		t.Fatalf("%d reports collected despite total poll loss", res.ReportCount)
+	}
+	if res.Outcome != FN {
+		t.Fatalf("outcome %v with zero telemetry, want FN", res.Outcome)
+	}
+	if !(res.Confidence < 1) {
+		t.Fatalf("confidence %v despite losing every poll", res.Confidence)
+	}
+}
+
+// TestChaosMonitorKillRestart: killing every monitor mid-collective loses
+// volatile detection state but must not wedge the collective or the
+// diagnosis — the monitors restart, re-synchronize at the next step, and
+// the run completes.
+func TestChaosMonitorKillRestart(t *testing.T) {
+	cfg := testConfig()
+	opts := DefaultRunOptions(cfg)
+	opts.Chaos = chaos.Config{
+		MonitorKillRate: 1,
+		MonitorDownFor:  simtime.Duration(50 * time.Microsecond),
+	}
+	res := mustRun(t, mustCase(t, Contention, 2, cfg), Vedrfolnir, cfg, opts)
+	if !res.Completed {
+		t.Fatal("monitor kills prevented collective completion")
+	}
+	if res.ChaosStats.MonitorKills == 0 {
+		t.Fatal("rate-1 kill plan killed nothing; the kill schedule is not wired")
+	}
+	if res.Diag == nil {
+		t.Fatal("no diagnosis after monitor restarts")
+	}
+}

@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"testing"
+
+	"vedrfolnir/internal/diagnose"
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/topo"
+)
+
+// The paper's TP/FP/FN criteria (§IV-A) predate the confidence annotation:
+// a partial detection is an FP whether the analyzer was fully informed or
+// degraded, and a degraded-but-complete detection is still a TP. These
+// tests pin that the confidence and coverage fields added by the chaos
+// layer never leak into the outcome accounting.
+
+func TestEvaluateIgnoresConfidence(t *testing.T) {
+	k0, k1 := bgKey(8, 0, 0), bgKey(9, 1, 1)
+	cs := Case{Kind: Contention, Flows: []InjectedFlow{{Key: k0}, {Key: k1}}}
+
+	// A complete detection at rock-bottom confidence is still a TP.
+	lowConf := &diagnose.Diagnosis{
+		Findings: []diagnose.Finding{{
+			Type: diagnose.FlowContention, Culprits: []fabric.FlowKey{k0, k1},
+			Confidence: 0.05,
+		}},
+		Confidence: 0.05,
+	}
+	if o := Evaluate(cs, lowConf); o != TP {
+		t.Fatalf("complete low-confidence detection: %v, want TP", o)
+	}
+
+	// A partial detection at full confidence is still an FP.
+	partial := &diagnose.Diagnosis{
+		Findings: []diagnose.Finding{{
+			Type: diagnose.FlowContention, Culprits: []fabric.FlowKey{k0},
+			Confidence: 1,
+		}},
+		Confidence: 1,
+	}
+	if o := Evaluate(cs, partial); o != FP {
+		t.Fatalf("partial full-confidence detection: %v, want FP", o)
+	}
+
+	// Coverage holes alone don't manufacture findings: an empty diagnosis
+	// with degraded coverage is still an FN.
+	degraded := &diagnose.Diagnosis{
+		Coverage:   diagnose.Coverage{PortsPolled: 1, PortsMissed: 9},
+		Confidence: 0.1,
+	}
+	if o := Evaluate(cs, degraded); o != FN {
+		t.Fatalf("empty degraded diagnosis: %v, want FN", o)
+	}
+}
+
+func TestEvaluatePFCLocalization(t *testing.T) {
+	sw := topo.NodeID(40)
+	cs := Case{Kind: PFCStorm, StormSwitch: sw}
+
+	localized := &diagnose.Diagnosis{Findings: []diagnose.Finding{{
+		Type: diagnose.PFCStorm, RootPort: topo.PortID{Node: sw, Port: 2}, Confidence: 0.3,
+	}}}
+	if o := Evaluate(cs, localized); o != TP {
+		t.Fatalf("localized storm: %v, want TP", o)
+	}
+
+	// Reported but traced to the wrong switch: FP regardless of confidence.
+	elsewhere := &diagnose.Diagnosis{Findings: []diagnose.Finding{{
+		Type: diagnose.PFCStorm, RootPort: topo.PortID{Node: sw + 1, Port: 2}, Confidence: 1,
+	}}}
+	if o := Evaluate(cs, elsewhere); o != FP {
+		t.Fatalf("mislocalized storm: %v, want FP", o)
+	}
+
+	if o := Evaluate(cs, &diagnose.Diagnosis{Confidence: 0.2}); o != FN {
+		t.Fatalf("silent storm: %v, want FN", o)
+	}
+}
+
+func TestEvaluateBackpressureRoot(t *testing.T) {
+	root := topo.PortID{Node: 30, Port: 1}
+	cs := Case{Kind: PFCBackpressure, BackpressureRoot: root}
+
+	hit := &diagnose.Diagnosis{Findings: []diagnose.Finding{{
+		Type: diagnose.PFCBackpressure, RootPort: root, Confidence: 0.4,
+	}}}
+	if o := Evaluate(cs, hit); o != TP {
+		t.Fatalf("rooted backpressure: %v, want TP", o)
+	}
+	miss := &diagnose.Diagnosis{Findings: []diagnose.Finding{{
+		Type: diagnose.PFCBackpressure, RootPort: topo.PortID{Node: 31, Port: 1},
+	}}}
+	if o := Evaluate(cs, miss); o != FP {
+		t.Fatalf("misrooted backpressure: %v, want FP", o)
+	}
+}
+
+func TestEvaluateCleanWithDegradedCoverage(t *testing.T) {
+	// A clean case diagnosed under degraded telemetry: no findings is still
+	// a TP (nothing to find), any finding is still an FP.
+	cs := Case{Kind: Clean}
+	if o := Evaluate(cs, &diagnose.Diagnosis{Confidence: 0.5}); o != TP {
+		t.Fatalf("clean, empty: %v, want TP", o)
+	}
+	noisy := &diagnose.Diagnosis{Findings: []diagnose.Finding{{
+		Type: diagnose.FlowContention, Confidence: 0.1,
+	}}}
+	if o := Evaluate(cs, noisy); o != FP {
+		t.Fatalf("clean with finding: %v, want FP", o)
+	}
+}
+
+func TestMetricsPartialDegradedAccounting(t *testing.T) {
+	// End-to-end accounting over a mixed batch: complete detections (any
+	// confidence) are TPs, partials are FPs, silences are FNs.
+	var m Metrics
+	for _, o := range []Outcome{TP, TP, FP, FN, FP} {
+		m.Add(o)
+	}
+	if m.TP != 2 || m.FP != 2 || m.FN != 1 {
+		t.Fatalf("accounting: %+v", m)
+	}
+	if p := m.Precision(); !(p > 0.49 && p < 0.51) {
+		t.Fatalf("precision = %v", p)
+	}
+	if r := m.Recall(); !(r > 0.66 && r < 0.67) {
+		t.Fatalf("recall = %v", r)
+	}
+}

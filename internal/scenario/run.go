@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"vedrfolnir/internal/baseline"
+	"vedrfolnir/internal/chaos"
 	"vedrfolnir/internal/collective"
 	"vedrfolnir/internal/diagnose"
 	"vedrfolnir/internal/fabric"
@@ -64,6 +65,11 @@ type Result struct {
 
 	Diag *diagnose.Diagnosis
 
+	// Confidence is the diagnosis's overall coverage score (1 in a healthy
+	// control plane); ChaosStats counts the faults injected into this run.
+	Confidence float64
+	ChaosStats chaos.Stats
+
 	// The analyzer's raw inputs, retained so callers (e.g. the analyzerd
 	// integration tests, offline tooling) can re-submit or re-analyze.
 	Records []collective.StepRecord
@@ -77,6 +83,9 @@ type RunOptions struct {
 	Monitor  monitor.Config
 	Hawkeye  baseline.HawkeyeConfig
 	FullPoll simtime.Duration // polling epoch
+	// Chaos, when Active, injects control-plane faults into the run
+	// (internal/chaos). The zero value leaves the pipeline untouched.
+	Chaos chaos.Config
 }
 
 // DefaultRunOptions returns each system's paper operating point, adapted to
@@ -181,6 +190,46 @@ func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) (Result, error
 		totals = func() telemetry.Overhead { return fp.Col.Totals }
 	}
 
+	// Wire the fault-injection layer. Every hook is nil by default, so an
+	// inactive (or zero-rate) configuration leaves the run byte-identical.
+	var ch *chaos.Chaos
+	if opts.Chaos.Active() {
+		ccfg := opts.Chaos
+		if ccfg.MonitorKillRate > 0 && ccfg.MonitorKillWindow <= 0 {
+			// Spread undated kills across the whole run by default.
+			ccfg.MonitorKillWindow = simtime.Duration(cfg.Deadline)
+		}
+		ch = chaos.New(ccfg, cs.Seed)
+		net.Tap = ch.TapControl
+		var col *telemetry.Collector
+		switch {
+		case sys != nil:
+			col = sys.Col
+		case hk != nil:
+			col = hk.Col
+		case fp != nil:
+			col = fp.Col
+		}
+		if col != nil {
+			col.PortFault = ch.PortLost
+		}
+		if sys != nil {
+			// Monitor-level faults only apply to the host-monitor system.
+			var monHosts []topo.NodeID
+			for _, id := range ranks {
+				if sys.Monitors[id] != nil {
+					sys.Monitors[id].Gate = ch
+					monHosts = append(monHosts, id)
+				}
+			}
+			for _, kill := range ch.KillPlan(monHosts) {
+				m := sys.Monitors[kill.Host]
+				k.At(kill.At, m.Kill)
+				k.At(kill.RestartAt, m.Restart)
+			}
+		}
+	}
+
 	// Inject the anomaly. Send failures inside event callbacks cannot be
 	// returned from there; the first one is captured and surfaced after the
 	// run.
@@ -240,7 +289,16 @@ func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) (Result, error
 	}
 	completed, _ := run.Done()
 
-	// Diagnose.
+	// Diagnose. The coverage inputs (expected step records, lost polls)
+	// let the analyzer annotate confidence when telemetry went missing.
+	expectedRecords := 0
+	for _, sch := range schedules {
+		expectedRecords += len(sch.Steps)
+	}
+	pollsLost := 0
+	if sys != nil {
+		pollsLost = sys.PollsLost()
+	}
 	diag := diagnose.Analyze(diagnose.Input{
 		Records: run.Records(),
 		Reports: reports(),
@@ -249,6 +307,8 @@ func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) (Result, error
 			host, step, ok := run.StepOf(f)
 			return waitgraph.StepRef{Host: host, Step: step}, ok
 		},
+		RecordsExpected: expectedRecords,
+		PollsLost:       pollsLost,
 	})
 
 	res := Result{
@@ -261,9 +321,13 @@ func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) (Result, error
 		CollectiveTime: simtime.Duration(doneAt),
 		Completed:      completed,
 		Diag:           diag,
+		Confidence:     diag.Confidence,
 		Records:        run.Records(),
 		Reports:        reports(),
 		CFs:            cfs,
+	}
+	if ch != nil {
+		res.ChaosStats = ch.Stats
 	}
 	res.Outcome = Evaluate(cs, diag)
 	return res, nil

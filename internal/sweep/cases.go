@@ -38,6 +38,7 @@ func Cases(cfg scenario.Config, base scenario.RunOptions) Exec {
 			BandwidthBytes: res.Overhead.Bandwidth(),
 			CollectiveTime: res.CollectiveTime,
 			Detected:       len(res.Detected),
+			Confidence:     res.Confidence,
 			Samples:        slowdownSamples(res.Records),
 		}, nil
 	}

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vedrfolnir/internal/chaos"
 	"vedrfolnir/internal/scenario"
 	"vedrfolnir/internal/simtime"
 	"vedrfolnir/internal/wire"
@@ -32,6 +33,9 @@ type Params struct {
 	FixedRTTThreshold simtime.Duration
 	// Unrestricted removes the detection-count bound entirely (Fig 13b).
 	Unrestricted bool
+	// ChaosLoss applies a uniform control-packet loss rate to the run's
+	// diagnosis traffic (the robustness grid). Zero injects nothing.
+	ChaosLoss float64
 }
 
 // Apply overlays the non-zero overrides onto base run options.
@@ -47,6 +51,9 @@ func (p Params) Apply(opts *scenario.RunOptions) {
 	}
 	if p.Unrestricted {
 		opts.Monitor.Unrestricted = true
+	}
+	if p.ChaosLoss != 0 {
+		opts.Chaos = chaos.UniformLoss(p.ChaosLoss)
 	}
 }
 
@@ -83,6 +90,10 @@ func (j Job) Key() string {
 	if p.Unrestricted {
 		b.WriteString("/unrestricted")
 	}
+	if p.ChaosLoss != 0 {
+		b.WriteString("/loss=")
+		b.WriteString(strconv.FormatFloat(p.ChaosLoss, 'g', -1, 64))
+	}
 	return b.String()
 }
 
@@ -104,6 +115,9 @@ type Result struct {
 	CollectiveTime simtime.Duration
 	// Detected is the number of culprit flows the diagnosis named.
 	Detected int
+	// Confidence is the diagnosis's coverage score (1 when every poll and
+	// port answered; only the chaos grid pushes it below 1).
+	Confidence float64
 	// Samples is a harness-defined per-job sample set: positive per-step
 	// slowdowns for case sweeps, per-iteration durations for training
 	// streams.
@@ -123,6 +137,7 @@ func wireJob(j Job) wire.SweepJob {
 			MaxDetectPerStep: j.Params.MaxDetectPerStep,
 			FixedRTTNS:       int64(j.Params.FixedRTTThreshold),
 			Unrestricted:     j.Params.Unrestricted,
+			ChaosLoss:        j.Params.ChaosLoss,
 		},
 	}
 }
@@ -138,6 +153,7 @@ func jobFromWire(j wire.SweepJob) Job {
 			MaxDetectPerStep:  j.Params.MaxDetectPerStep,
 			FixedRTTThreshold: simtime.Duration(j.Params.FixedRTTNS),
 			Unrestricted:      j.Params.Unrestricted,
+			ChaosLoss:         j.Params.ChaosLoss,
 		},
 	}
 }
@@ -155,6 +171,7 @@ func wireRecord(r Result) wire.SweepRecord {
 		BandwidthBytes: r.BandwidthBytes,
 		CollectiveNS:   int64(r.CollectiveTime),
 		Detected:       r.Detected,
+		Confidence:     r.Confidence,
 	}
 	for _, s := range r.Samples {
 		rec.SamplesNS = append(rec.SamplesNS, int64(s))
@@ -174,6 +191,7 @@ func resultFromWire(rec wire.SweepRecord) Result {
 		BandwidthBytes: rec.BandwidthBytes,
 		CollectiveTime: simtime.Duration(rec.CollectiveNS),
 		Detected:       rec.Detected,
+		Confidence:     rec.Confidence,
 	}
 	for _, s := range rec.SamplesNS {
 		r.Samples = append(r.Samples, simtime.Duration(s))

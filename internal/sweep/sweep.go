@@ -5,6 +5,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"vedrfolnir/internal/simtime"
 )
@@ -36,6 +37,13 @@ type Options struct {
 	// StopAfter, when > 0, interrupts the sweep after that many jobs have
 	// finished in this run (test hook for kill/resume coverage).
 	StopAfter int
+	// JobTimeout, when > 0, bounds each job's wall-clock execution: a
+	// case that exceeds it is recorded as a per-job Err (like a panic)
+	// and the worker moves on instead of wedging the pool. The abandoned
+	// job's goroutine cannot be killed and may keep consuming CPU until
+	// it finishes on its own; its late result is discarded. A resumed
+	// sweep re-runs timed-out jobs like any other failure.
+	JobTimeout time.Duration
 }
 
 // Summary is a completed (or interrupted) run: results merged in job
@@ -130,7 +138,7 @@ func Run(jobs []Job, exec Exec, opts Options) (*Summary, error) {
 			go func() {
 				defer wg.Done()
 				for idx := range jobCh {
-					resCh <- indexed{idx, runOne(exec, jobs[idx], keys[idx])}
+					resCh <- indexed{idx, runJob(exec, jobs[idx], keys[idx], opts.JobTimeout)}
 				}
 			}()
 		}
@@ -192,6 +200,28 @@ func Run(jobs []Job, exec Exec, opts Options) (*Summary, error) {
 		}
 	}
 	return sum, nil
+}
+
+// runJob executes one job under the optional watchdog: a job that exceeds
+// the timeout is captured as a per-job Err and abandoned (its goroutine
+// keeps running, its eventual result lands in the buffered channel and is
+// dropped), so one hung case cannot wedge the worker pool.
+func runJob(exec Exec, job Job, key string, timeout time.Duration) Result {
+	if timeout <= 0 {
+		return runOne(exec, job, key)
+	}
+	done := make(chan Result, 1)
+	go func() { done <- runOne(exec, job, key) }()
+	//lint:ignore nosystime the watchdog bounds a hung case's real execution time; nothing derived from it feeds results
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r
+	case <-timer.C:
+		return Result{Job: job, Key: key,
+			Err: fmt.Sprintf("timed out after %v (job abandoned)", timeout)}
+	}
 }
 
 // runOne executes one job, converting errors (and panics from deep inside

@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vedrfolnir/internal/scenario"
+	"vedrfolnir/internal/wire"
+)
+
+// TestJobTimeoutWatchdog: a wedged case must not wedge the pool. The
+// watchdog records a per-job timeout error, the remaining jobs complete,
+// and a journaled resume re-runs the timed-out job (Err != "" re-runs).
+func TestJobTimeoutWatchdog(t *testing.T) {
+	jobs := []Job{
+		{Kind: scenario.Contention, Seed: 0, System: scenario.Vedrfolnir},
+		{Kind: scenario.Contention, Seed: 1, System: scenario.Vedrfolnir},
+		{Kind: scenario.Contention, Seed: 2, System: scenario.Vedrfolnir},
+	}
+	release := make(chan struct{})
+	var hang atomic.Bool
+	hang.Store(true)
+	exec := func(j Job) (Result, error) {
+		if j.Seed == 1 && hang.Load() {
+			<-release // simulate an event-loop livelock
+		}
+		return Result{Completed: true, TelemetryBytes: 10 * j.Seed}, nil
+	}
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	spec := wire.SweepSpec{Name: "test", ScaleDen: 360}
+	j1, err := OpenJournal(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Run(jobs, exec, Options{Workers: 3, Journal: j1, JobTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Failed) != 1 || sum.Failed[0] != jobs[1].Key() {
+		t.Fatalf("Failed = %v, want [%s]", sum.Failed, jobs[1].Key())
+	}
+	if !strings.Contains(sum.Results[1].Err, "timed out") {
+		t.Fatalf("watchdog error = %q", sum.Results[1].Err)
+	}
+	if sum.Results[0].Err != "" || sum.Results[2].Err != "" {
+		t.Fatal("healthy jobs contaminated by the hung one")
+	}
+	close(release) // let the abandoned goroutine finish
+
+	// Resume: the hang was transient; the timed-out job re-runs and heals.
+	hang.Store(false)
+	j2, err := OpenJournal(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err = Run(jobs, exec, Options{Workers: 1, Journal: j2, JobTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Skipped != 2 {
+		t.Fatalf("resume skipped %d, want 2 (timed-out job must re-run)", sum.Skipped)
+	}
+	if len(sum.Failed) != 0 {
+		t.Fatalf("timed-out job did not heal on resume: %v", sum.Failed)
+	}
+}
+
+// TestJobTimeoutDisabledByDefault: zero JobTimeout means no watchdog
+// goroutine — results flow through the direct path.
+func TestJobTimeoutDisabledByDefault(t *testing.T) {
+	jobs := []Job{{Kind: scenario.Contention, Seed: 0, System: scenario.Vedrfolnir}}
+	sum, err := Run(jobs, func(Job) (Result, error) {
+		return Result{Completed: true}, nil
+	}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Failed) != 0 || !sum.Results[0].Completed {
+		t.Fatalf("plain run misbehaved: %+v", sum.Results[0])
+	}
+}
+
+func TestJobKeyChaosLoss(t *testing.T) {
+	j := Job{Kind: scenario.Contention, Seed: 4, System: scenario.Vedrfolnir,
+		Params: Params{ChaosLoss: 0.01}}
+	if got, want := j.Key(), "flow-contention/vedrfolnir/s4/loss=0.01"; got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+	// Zero loss keys without a suffix, so pre-chaos journals keep matching.
+	plain := Job{Kind: scenario.Contention, Seed: 4, System: scenario.Vedrfolnir}
+	if got, want := plain.Key(), "flow-contention/vedrfolnir/s4"; got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+}
+
+// TestChaosResultJournalRoundTrip: the chaos-grid fields survive the
+// journal losslessly, like every other Result field.
+func TestChaosResultJournalRoundTrip(t *testing.T) {
+	in := Result{
+		Job: Job{Kind: scenario.Incast, Seed: 3, System: scenario.Vedrfolnir,
+			Params: Params{ChaosLoss: 0.05}},
+		Outcome:        scenario.Outcome(0),
+		Completed:      true,
+		TelemetryBytes: 4242,
+		Confidence:     0.875,
+	}
+	in.Key = in.Job.Key()
+	b, err := json.Marshal(wireRecord(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec wire.SweepRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		t.Fatal(err)
+	}
+	out := resultFromWire(rec)
+	if out.Job.Params.ChaosLoss != in.Job.Params.ChaosLoss {
+		t.Fatalf("ChaosLoss lost: %v", out.Job.Params.ChaosLoss)
+	}
+	if out.Confidence != in.Confidence {
+		t.Fatalf("Confidence lost: %v", out.Confidence)
+	}
+	b2, err := json.Marshal(wireRecord(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("journal round trip not lossless:\n%s\nvs\n%s", b, b2)
+	}
+}

@@ -76,6 +76,10 @@ type Report struct {
 	// switch in the window — the forwarding-loop signature (§II-B).
 	TTLDrops   map[topo.NodeID]int64
 	HopsPolled int // polling packet hops, for bandwidth accounting
+	// PortsMissed counts visited switch ports whose telemetry response was
+	// lost (fault injection): the poll reached them but no records came
+	// back. Zero in a healthy fabric. Feeds diagnosis confidence.
+	PortsMissed int
 }
 
 // Size returns the report's modelled wire size in bytes.
@@ -127,6 +131,12 @@ type Collector struct {
 	last      map[topo.PortID]*portState
 	lastDrops map[topo.NodeID]int64
 	pfcSeen   int // high-water mark into Net.PFCLog for windowing
+
+	// PortFault, when set, is consulted once per visited switch port; true
+	// loses that port's response for this poll (fault injection). The
+	// port's counters are left un-drained, so a later successful poll
+	// reports the accumulated delta — loss degrades freshness, not totals.
+	PortFault func(topo.PortID) bool
 
 	// Totals accumulates overhead across all polls through this collector.
 	Totals Overhead
@@ -273,6 +283,10 @@ func (c *Collector) pfcWindow(now simtime.Time, window simtime.Duration) []fabri
 func (c *Collector) collectPort(rep *Report, p topo.PortID, window simtime.Duration) {
 	sw := c.Net.SwitchAt(p.Node)
 	if sw == nil {
+		return
+	}
+	if c.PortFault != nil && c.PortFault(p) {
+		rep.PortsMissed++
 		return
 	}
 	now := c.Net.K.Now()

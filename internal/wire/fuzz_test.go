@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzReportRoundTrip: an arbitrary JSON report that unmarshals must
+// convert to the internal telemetry form and back without panicking, and
+// the DTO→internal→DTO conversion must be a fixed point after one
+// normalization pass (FromReport sorts the map-derived lists, so a second
+// pass must be byte-stable — the property journal resume and the
+// determinism tests depend on).
+func FuzzReportRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"at_ns":5,"triggered_by":{"src":1,"dst":2,"sport":7,"dport":8,"proto":17},"hops_polled":3}`))
+	f.Add([]byte(`{"at_ns":5,"triggered_by":{},"ports_missed":2,"flows":[{"switch":9,"port":1,"flow":{"src":1,"dst":2},"pkts":10,"bytes":1000,"wait":[{"flow":{"src":3,"dst":4},"n":7}]}]}`))
+	f.Add([]byte(`{"ports":[{"switch":9,"port":0,"queued_bytes":1,"paused":true,"meter_in":[{"from":{"node":2,"port":1},"bytes":5}],"pfc_events":[{"at_ns":1,"pause":true,"upstream":{"node":2,"port":1},"downstream":9,"ingress":1,"cause":3}]}]}`))
+	f.Add([]byte(`{"ttl_drops":[{"switch":4,"n":2},{"switch":3,"n":1}]}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var dto Report
+		if err := json.Unmarshal(data, &dto); err != nil {
+			return
+		}
+		// First pass normalizes (duplicate map keys collapse, lists sort).
+		norm := FromReport(dto.Telemetry())
+		a, err := json.Marshal(norm)
+		if err != nil {
+			t.Fatalf("marshal after round trip: %v", err)
+		}
+		// Second pass must be the identity.
+		again := FromReport(norm.Telemetry())
+		b, err := json.Marshal(again)
+		if err != nil {
+			t.Fatalf("marshal after second round trip: %v", err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("report round trip not stable:\n%s\nvs\n%s", a, b)
+		}
+	})
+}
+
+// FuzzStepRecordRoundTrip: the step-record DTO is flat, so the round trip
+// must be exactly lossless, not just stable.
+func FuzzStepRecordRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"host":3,"step":1,"flow":{"src":3,"dst":4,"sport":1,"dport":2,"proto":17},"bytes":1048576,"start_ns":100,"end_ns":900,"wait_src":2,"wait_step":0,"bound_by_wait":true}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var dto StepRecord
+		if err := json.Unmarshal(data, &dto); err != nil {
+			return
+		}
+		if got := FromStepRecord(dto.Record()); got != dto {
+			t.Fatalf("step record round trip lost data:\n%+v\nvs\n%+v", got, dto)
+		}
+	})
+}
+
+// FuzzSweepRecordRoundTrip: journal records (including the chaos-grid
+// fields) survive resultFromWire-style JSON cycles stably.
+func FuzzSweepRecordRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"key":"flow-contention/vedrfolnir/s4/loss=0.01","kind":"flow-contention","seed":4,"system":"vedrfolnir","params":{"chaos_loss":0.01},"outcome":"TP","completed":true,"confidence":0.875}`))
+	f.Add([]byte(`{"key":"incast/vedrfolnir/s0","err":"timed out after 30s (job abandoned)"}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var rec SweepRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return
+		}
+		a, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var rec2 SweepRecord
+		if err := json.Unmarshal(a, &rec2); err != nil {
+			t.Fatalf("re-unmarshal of own output: %v", err)
+		}
+		b, err := json.Marshal(rec2)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("sweep record round trip not stable:\n%s\nvs\n%s", a, b)
+		}
+	})
+}

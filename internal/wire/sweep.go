@@ -36,6 +36,7 @@ type SweepParams struct {
 	MaxDetectPerStep int     `json:"max_detect,omitempty"`
 	FixedRTTNS       int64   `json:"fixed_rtt_ns,omitempty"`
 	Unrestricted     bool    `json:"unrestricted,omitempty"`
+	ChaosLoss        float64 `json:"chaos_loss,omitempty"`
 }
 
 // SweepJob is the JSON form of one scheduled case.
@@ -62,5 +63,6 @@ type SweepRecord struct {
 	BandwidthBytes int64   `json:"bandwidth_bytes"`
 	CollectiveNS   int64   `json:"collective_ns"`
 	Detected       int     `json:"detected"`
+	Confidence     float64 `json:"confidence,omitempty"`
 	SamplesNS      []int64 `json:"samples_ns,omitempty"`
 }

@@ -149,6 +149,7 @@ type Report struct {
 	Ports       []PortRecord `json:"ports,omitempty"`
 	TTLDrops    []DropEntry  `json:"ttl_drops,omitempty"`
 	HopsPolled  int          `json:"hops_polled"`
+	PortsMissed int          `json:"ports_missed,omitempty"`
 }
 
 // FromReport converts an internal telemetry report.
@@ -157,6 +158,7 @@ func FromReport(r *telemetry.Report) Report {
 		AtNS:        int64(r.At),
 		TriggeredBy: FromFlow(r.TriggeredBy),
 		HopsPolled:  r.HopsPolled,
+		PortsMissed: r.PortsMissed,
 	}
 	for _, fr := range r.Flows {
 		w := FlowRecord{
@@ -213,6 +215,7 @@ func (r Report) Telemetry() *telemetry.Report {
 		At:          simtime.Time(r.AtNS),
 		TriggeredBy: r.TriggeredBy.Key(),
 		HopsPolled:  r.HopsPolled,
+		PortsMissed: r.PortsMissed,
 	}
 	for _, fr := range r.Flows {
 		w := telemetry.FlowRecord{
@@ -278,12 +281,16 @@ type Finding struct {
 	Culprits []Flow `json:"culprits,omitempty"`
 	Affected []Flow `json:"affected,omitempty"`
 	Injected bool   `json:"injected,omitempty"`
+	// Confidence is the telemetry coverage behind this match, serialized
+	// only when degraded (< 1) so healthy output is unchanged.
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // Rating is the JSON form of an Eq. 3 contributor score.
 type Rating struct {
-	Flow  Flow    `json:"flow"`
-	Score float64 `json:"score"`
+	Flow       Flow    `json:"flow"`
+	Score      float64 `json:"score"`
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // Step names one critical-path step.
@@ -292,11 +299,27 @@ type Step struct {
 	Step int   `json:"step"`
 }
 
+// Coverage is the JSON form of the observation-completeness accounting
+// behind a degraded diagnosis.
+type Coverage struct {
+	PortsPolled     int `json:"ports_polled"`
+	PortsMissed     int `json:"ports_missed"`
+	ReportsSeen     int `json:"reports_seen"`
+	PollsLost       int `json:"polls_lost"`
+	RecordsSeen     int `json:"records_seen"`
+	RecordsExpected int `json:"records_expected"`
+}
+
 // Diagnosis is the JSON form of the analyzer's structured result.
 type Diagnosis struct {
 	Findings     []Finding `json:"findings"`
 	CriticalPath []Step    `json:"critical_path"`
 	Ratings      []Rating  `json:"ratings"`
+	// Confidence and Coverage appear only when the diagnosis was built
+	// from partial observation (confidence < 1); a healthy diagnosis
+	// serializes exactly as before they existed.
+	Confidence float64   `json:"confidence,omitempty"`
+	Coverage   *Coverage `json:"coverage,omitempty"`
 }
 
 // FromDiagnosis converts an internal diagnosis for export.
@@ -308,6 +331,9 @@ func FromDiagnosis(d *diagnose.Diagnosis) Diagnosis {
 			Port:     FromPort(f.Port),
 			RootPort: FromPort(f.RootPort),
 			Injected: f.Injected,
+		}
+		if f.Confidence < 1 {
+			nf.Confidence = f.Confidence
 		}
 		for _, p := range f.Chain {
 			nf.Chain = append(nf.Chain, FromPort(p))
@@ -324,7 +350,23 @@ func FromDiagnosis(d *diagnose.Diagnosis) Diagnosis {
 		out.CriticalPath = append(out.CriticalPath, Step{Host: int32(ref.Host), Step: ref.Step})
 	}
 	for _, r := range d.Ratings {
-		out.Ratings = append(out.Ratings, Rating{Flow: FromFlow(r.Flow), Score: r.Score})
+		nr := Rating{Flow: FromFlow(r.Flow), Score: r.Score}
+		if r.Confidence < 1 {
+			nr.Confidence = r.Confidence
+		}
+		out.Ratings = append(out.Ratings, nr)
+	}
+	if d.Confidence < 1 {
+		out.Confidence = d.Confidence
+		c := d.Coverage
+		out.Coverage = &Coverage{
+			PortsPolled:     c.PortsPolled,
+			PortsMissed:     c.PortsMissed,
+			ReportsSeen:     c.ReportsSeen,
+			PollsLost:       c.PollsLost,
+			RecordsSeen:     c.RecordsSeen,
+			RecordsExpected: c.RecordsExpected,
+		}
 	}
 	return out
 }

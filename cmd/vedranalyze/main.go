@@ -16,12 +16,14 @@ import (
 	"fmt"
 	"os"
 
+	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/wire"
 )
 
 func main() {
 	in := flag.String("in", "", "input bundle (JSON; - for stdin)")
 	asJSON := flag.Bool("json", false, "emit the diagnosis as JSON")
+	tracePath := flag.String("trace", "", "write a Chrome trace of the analyzer phases")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "vedranalyze: -in required")
@@ -42,7 +44,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vedranalyze:", err)
 		os.Exit(1)
 	}
-	diag := bundle.Analyze()
+	var scope *obs.Scope
+	if *tracePath != "" {
+		scope = &obs.Scope{Trace: obs.NewTracer(), Metrics: obs.NewRegistry()}
+		scope.Trace.NameProcess(obs.PidAnalyzer, "analyzer")
+		scope.Trace.NameThread(obs.PidAnalyzer, 0, "phases")
+	}
+	diag := bundle.AnalyzeObs(scope)
+	if *tracePath != "" {
+		if err := scope.Trace.WriteFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "vedranalyze:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "vedranalyze: trace written to %s (%d events)\n", *tracePath, scope.Trace.Len())
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", " ")

@@ -21,12 +21,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"vedrfolnir/internal/analyzerd"
+	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/wire"
 )
 
@@ -39,14 +43,33 @@ func main() {
 		"drop a connection idle for this long (0 = never)")
 	flag.IntVar(&scfg.MaxLineBytes, "max-line", scfg.MaxLineBytes,
 		"maximum protocol line size in bytes")
+	obsListen := flag.String("obs-listen", "",
+		"serve live /metrics, /debug/vars and /debug/pprof on this address")
+	verbose := flag.Bool("v", false, "log connection and ingest events on stderr")
 	flag.Parse()
 
+	if *verbose {
+		scfg.Log = obs.NewLogger(os.Stderr, slog.LevelDebug, nil)
+	}
 	srv, err := analyzerd.ServeWith(*listen, scfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
 		os.Exit(1)
 	}
 	fmt.Println("analyzer listening on", srv.Addr())
+
+	if *obsListen != "" {
+		reg := obs.NewRegistry()
+		srv.PublishStats(reg)
+		reg.PublishExpvar("vedranalyzerd")
+		ln, err := net.Listen("tcp", *obsListen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "vedranalyzerd: obs on http://%s/metrics\n", ln.Addr())
+		go http.Serve(ln, obs.Mux(reg))
+	}
 
 	done := make(chan struct{})
 	if *after > 0 {

@@ -19,11 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
 	"vedrfolnir/internal/experiments"
+	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/scenario"
 	"vedrfolnir/internal/sweep"
 	"vedrfolnir/internal/wire"
@@ -35,7 +37,14 @@ func main() {
 	scaleDen := flag.Float64("scale", 90, "workload scale denominator: sizes and times are 1/N of the paper's")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	journal := flag.String("journal", "", "checkpoint base path: each case grid journals to base.<fig>.jsonl")
+	traceDir := flag.String("trace-dir", "", "write one sim-time Chrome trace per sweep/case study into this directory")
 	flag.Parse()
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 
 	cfg := scenario.ConfigForScale(*scaleDen)
 
@@ -50,6 +59,19 @@ func main() {
 	// so plain append is safe.
 	var failed []string
 	var journals []*sweep.Journal
+	// Each sweep (and the Fig 14 case study) gets its own trace scope; the
+	// files are written together at the end so a mid-run failure still
+	// leaves the completed traces on disk in one place.
+	type namedScope struct {
+		name  string
+		scope *obs.Scope
+	}
+	var scopes []namedScope
+	newScope := func(name string) *obs.Scope {
+		scope := &obs.Scope{Trace: obs.NewTracer(), Metrics: obs.NewRegistry()}
+		scopes = append(scopes, namedScope{name, scope})
+		return scope
+	}
 	sweepOpts := func(name string) sweep.Options {
 		sw := sweep.Options{
 			Workers:  *workers,
@@ -59,6 +81,9 @@ func main() {
 					failed = append(failed, fmt.Sprintf("%s: %s", r.Key, r.Err))
 				}
 			},
+		}
+		if *traceDir != "" {
+			sw.Obs = newScope(name)
 		}
 		if *journal != "" {
 			spec := wire.SweepSpec{Name: name, Paper: *paper, ScaleDen: *scaleDen}
@@ -116,7 +141,13 @@ func main() {
 		})
 	}
 	if want("14") {
-		run("Fig 14: case study", func() { printFig14(cfg) })
+		run("Fig 14: case study", func() {
+			var scope *obs.Scope
+			if *traceDir != "" {
+				scope = newScope("fig14")
+			}
+			printFig14(cfg, scope)
+		})
 	}
 	if want("ext") {
 		run("Extensions: remaining §II-B anomalies + slowdown distributions", func() {
@@ -144,6 +175,13 @@ func main() {
 	}
 	for _, j := range journals {
 		j.Close()
+	}
+	for _, ns := range scopes {
+		path := filepath.Join(*traceDir, ns.name+".trace.json")
+		if err := ns.scope.Trace.WriteFile(path); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d events)\n", path, ns.scope.Trace.Len())
 	}
 	if len(failed) > 0 {
 		sort.Strings(failed)
@@ -269,8 +307,8 @@ func printChaos(rows []experiments.ChaosRow) {
 	}
 }
 
-func printFig14(cfg scenario.Config) {
-	study, err := experiments.Fig14(cfg)
+func printFig14(cfg scenario.Config, scope *obs.Scope) {
+	study, err := experiments.Fig14Obs(cfg, scope)
 	if err != nil {
 		fatal(err)
 	}

@@ -16,20 +16,33 @@ import (
 	"path/filepath"
 
 	"vedrfolnir/internal/experiments"
+	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/scenario"
 )
 
 func main() {
 	out := flag.String("out", ".", "output directory for DOT files")
 	scaleDen := flag.Float64("scale", 90, "workload scale denominator")
+	tracePath := flag.String("trace", "", "also write a sim-time Chrome trace of the case-study run")
 	flag.Parse()
 
 	cfg := scenario.ConfigForScale(*scaleDen)
 
-	study, err := experiments.Fig14(cfg)
+	var scope *obs.Scope
+	if *tracePath != "" {
+		scope = &obs.Scope{Trace: obs.NewTracer(), Metrics: obs.NewRegistry()}
+	}
+	study, err := experiments.Fig14Obs(cfg, scope)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *tracePath != "" {
+		if err := scope.Trace.WriteFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d events)\n", *tracePath, scope.Trace.Len())
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)

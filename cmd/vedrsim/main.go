@@ -11,9 +11,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
+	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/scenario"
 	"vedrfolnir/internal/wire"
 )
@@ -25,6 +27,8 @@ func main() {
 	scaleDen := flag.Float64("scale", 90, "workload scale denominator")
 	verbose := flag.Bool("v", false, "print the full diagnosis summary")
 	dump := flag.String("dump", "", "write the diagnosis inputs as a JSON bundle (for vedranalyze)")
+	tracePath := flag.String("trace", "", "write a sim-time Chrome trace (Perfetto-loadable) of the run")
+	logRun := flag.Bool("log", false, "emit the run's structured sim-time log on stderr")
 	flag.Parse()
 
 	kinds := map[string]scenario.AnomalyKind{
@@ -60,8 +64,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	opts := scenario.DefaultRunOptions(cfg)
+	var scope *obs.Scope
+	if *tracePath != "" || *logRun {
+		scope = &obs.Scope{Metrics: obs.NewRegistry()}
+		if *tracePath != "" {
+			scope.Trace = obs.NewTracer()
+		}
+		if *logRun {
+			scope.Log = obs.NewLogger(os.Stderr, slog.LevelInfo, nil)
+		}
+		opts.Obs = scope
+	}
 	start := time.Now()
-	res, err := scenario.Run(cs, sys, cfg, scenario.DefaultRunOptions(cfg))
+	res, err := scenario.Run(cs, sys, cfg, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -86,6 +102,13 @@ func main() {
 	}
 	fmt.Printf("detections: %d reports, %d telemetry bytes, %d bandwidth bytes\n",
 		res.ReportCount, res.Overhead.TelemetryBytes, res.Overhead.Bandwidth())
+	if *tracePath != "" {
+		if err := scope.Trace.WriteFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d events)\n", *tracePath, scope.Trace.Len())
+	}
 	if *dump != "" {
 		f, err := os.Create(*dump)
 		if err != nil {
@@ -93,6 +116,9 @@ func main() {
 			os.Exit(1)
 		}
 		bundle := wire.NewBundle(res.Records, res.Reports, res.CFs)
+		if scope != nil {
+			bundle.Metrics = scope.M().Flatten()
+		}
 		if err := bundle.Write(f); err != nil {
 			f.Close()
 			fmt.Fprintln(os.Stderr, err)

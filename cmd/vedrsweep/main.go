@@ -21,12 +21,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"vedrfolnir/internal/experiments"
+	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/sweep"
 )
 
@@ -43,6 +46,7 @@ func main() {
 	paper := fs.Bool("paper", false, "run the full paper case census (60/60/40/60)")
 	scaleDen := fs.Float64("scale", 90, "workload scale denominator")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	obsListen := fs.String("obs-listen", "", "serve live /metrics, /debug/vars and /debug/pprof on this address while the sweep runs")
 	fs.Parse(args)
 	if *journal == "" {
 		fatal(fmt.Errorf("-journal is required"))
@@ -57,7 +61,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		execute(plan, *journal, *workers)
+		execute(plan, *journal, *workers, *obsListen)
 	case "resume":
 		header, _, err := sweep.ReadJournal(*journal)
 		if err != nil {
@@ -67,7 +71,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		execute(plan, *journal, *workers)
+		execute(plan, *journal, *workers, *obsListen)
 	case "status":
 		status(*journal)
 	default:
@@ -87,12 +91,28 @@ func fatal(err error) {
 }
 
 // execute runs (or completes) the planned sweep against the journal.
-func execute(plan *experiments.SweepPlan, path string, workers int) {
+func execute(plan *experiments.SweepPlan, path string, workers int, obsListen string) {
 	j, err := sweep.OpenJournal(path, plan.Spec)
 	if err != nil {
 		fatal(err)
 	}
 	defer j.Close()
+
+	// The sweep always feeds a metrics registry: the final summary line is
+	// sourced from it, and -obs-listen exposes it (plus expvar and pprof)
+	// live while cases run. The journal and stdout stay byte-identical
+	// either way.
+	reg := obs.NewRegistry()
+	scope := &obs.Scope{Metrics: reg}
+	if obsListen != "" {
+		reg.PublishExpvar("vedrsweep")
+		ln, err := net.Listen("tcp", obsListen)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vedrsweep: obs on http://%s/metrics\n", ln.Addr())
+		go http.Serve(ln, obs.Mux(reg))
+	}
 
 	// SIGINT/SIGTERM stop dispatch; in-flight cases finish and are
 	// journaled, so the next resume loses nothing.
@@ -112,10 +132,12 @@ func execute(plan *experiments.SweepPlan, path string, workers int) {
 		Journal:   j,
 		Progress:  os.Stderr,
 		Interrupt: interrupt,
+		Obs:       scope,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	summaryLine(reg)
 	switch {
 	case sum.Interrupted:
 		fmt.Printf("interrupted: %d/%d cases journaled, %d pending; resume with:\n  vedrsweep resume -journal %s\n",
@@ -132,6 +154,18 @@ func execute(plan *experiments.SweepPlan, path string, workers int) {
 		fmt.Printf("done: %d cases (%d resumed from journal), journal compacted\n",
 			len(plan.Jobs), sum.Skipped)
 	}
+}
+
+// summaryLine emits one machine-readable key=value line on stderr sourced
+// from the observability registry, for scripts wrapping vedrsweep. stdout
+// is left untouched so its bytes stay identical to uninstrumented runs.
+func summaryLine(reg *obs.Registry) {
+	m := reg.Flatten()
+	fmt.Fprintf(os.Stderr,
+		"vedrsweep: summary cases=%d done=%d failed=%d skipped=%d pending=%d interrupted=%d wall_ms=%d\n",
+		m["vedr_sweep_cases"], m["vedr_sweep_cases_done_total"],
+		m["vedr_sweep_cases_failed_total"], m["vedr_sweep_cases_skipped_total"],
+		m["vedr_sweep_cases_pending"], m["vedr_sweep_interrupted"], m["vedr_sweep_wall_ms"])
 }
 
 // status summarizes a journal without running anything.

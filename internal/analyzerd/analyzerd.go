@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"vedrfolnir/internal/collective"
 	"vedrfolnir/internal/diagnose"
 	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/telemetry"
 	"vedrfolnir/internal/waitgraph"
 	"vedrfolnir/internal/wire"
@@ -111,6 +113,10 @@ type ServerConfig struct {
 	// connection (counted in Stats().Oversized) instead of growing the
 	// scanner buffer without bound. <= 0 uses the default (16 MiB).
 	MaxLineBytes int
+	// Log, when set, receives structured connection-level events
+	// (accepted peers, malformed and oversized lines, timeouts, duplicate
+	// resubmissions, rejected ingests). Nil keeps the server silent.
+	Log *slog.Logger
 }
 
 // DefaultServerConfig returns the production hardening defaults. The read
@@ -139,6 +145,7 @@ type ServerStats struct {
 type Server struct {
 	ln  net.Listener
 	cfg ServerConfig
+	log *slog.Logger
 
 	mu      sync.Mutex
 	records []collective.StepRecord
@@ -175,10 +182,14 @@ func ServeWith(addr string, cfg ServerConfig) (*Server, error) {
 	s := &Server{
 		ln:        ln,
 		cfg:       cfg,
+		log:       cfg.Log,
 		cfs:       make(map[fabric.FlowKey]bool),
 		stepIndex: make(map[fabric.FlowKey]waitgraph.StepRef),
 		acked:     make(map[string]int64),
 		conns:     make(map[net.Conn]struct{}),
+	}
+	if s.log == nil {
+		s.log = obs.NopLogger()
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -193,6 +204,40 @@ func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// Conns returns the number of live client connections.
+func (s *Server) Conns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// PublishStats exposes the server's abuse counters and ingest totals on
+// the registry as live gauges (each read re-snapshots the server), so a
+// /metrics or /debug/vars endpoint reports them without polling glue.
+func (s *Server) PublishStats(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("vedr_analyzerd_malformed_total", "protocol lines skipped as malformed",
+		func() int64 { return s.Stats().Malformed })
+	reg.GaugeFunc("vedr_analyzerd_oversized_total", "connections dropped for oversized lines",
+		func() int64 { return s.Stats().Oversized })
+	reg.GaugeFunc("vedr_analyzerd_timedout_total", "connections dropped by the read deadline",
+		func() int64 { return s.Stats().TimedOut })
+	reg.GaugeFunc("vedr_analyzerd_rejected_total", "messages that parsed but failed ingestion",
+		func() int64 { return s.Stats().Rejected })
+	reg.GaugeFunc("vedr_analyzerd_duplicates_total", "resubmitted already-acked messages suppressed",
+		func() int64 { return s.Stats().Duplicates })
+	reg.GaugeFunc("vedr_analyzerd_connections", "live client connections",
+		func() int64 { return int64(s.Conns()) })
+	reg.GaugeFunc("vedr_analyzerd_records", "step records ingested",
+		func() int64 { r, _, _ := s.Counts(); return int64(r) })
+	reg.GaugeFunc("vedr_analyzerd_reports", "telemetry reports ingested",
+		func() int64 { _, r, _ := s.Counts(); return int64(r) })
+	reg.GaugeFunc("vedr_analyzerd_cfs", "collective flows registered",
+		func() int64 { _, _, c := s.Counts(); return int64(c) })
 }
 
 // Close stops accepting, severs live connections, and waits for handlers
@@ -255,6 +300,8 @@ func (r *deadlineReader) Read(p []byte) (int, error) {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	peer := conn.RemoteAddr().String()
+	s.log.Info("client connected", "peer", peer)
 	var r io.Reader = conn
 	if s.cfg.ReadTimeout > 0 {
 		r = &deadlineReader{conn: conn, d: s.cfg.ReadTimeout}
@@ -273,16 +320,19 @@ func (s *Server) handle(conn net.Conn) {
 		msg, err := ParseMessage(line)
 		if err != nil {
 			s.count(func(st *ServerStats) { st.Malformed++ })
+			s.log.Warn("malformed line", "peer", peer, "err", err.Error())
 			fmt.Fprintf(conn, `{"error":%q}`+"\n", err.Error())
 			continue
 		}
 		if msg.Seq > 0 && s.alreadyAcked(msg.Client, msg.Seq) {
 			s.count(func(st *ServerStats) { st.Duplicates++ })
+			s.log.Debug("duplicate suppressed", "peer", peer, "client", msg.Client, "seq", msg.Seq)
 			fmt.Fprintf(conn, `{"ack":%d}`+"\n", msg.Seq)
 			continue
 		}
 		if err := s.ingest(msg); err != nil {
 			s.count(func(st *ServerStats) { st.Rejected++ })
+			s.log.Warn("message rejected", "peer", peer, "err", err.Error())
 			if msg.Seq > 0 {
 				// A nak tells the client to drop the message rather than
 				// resubmit it forever.
@@ -301,14 +351,17 @@ func (s *Server) handle(conn net.Conn) {
 	case err == nil:
 	case errors.Is(err, bufio.ErrTooLong):
 		s.count(func(st *ServerStats) { st.Oversized++ })
+		s.log.Warn("oversized line, dropping connection", "peer", peer, "limit", s.cfg.MaxLineBytes)
 		fmt.Fprintf(conn, `{"error":%q}`+"\n",
 			fmt.Sprintf("line exceeds %d bytes", s.cfg.MaxLineBytes))
 	default:
 		var nerr net.Error
 		if errors.As(err, &nerr) && nerr.Timeout() {
 			s.count(func(st *ServerStats) { st.TimedOut++ })
+			s.log.Warn("connection timed out", "peer", peer)
 		}
 	}
+	s.log.Info("client disconnected", "peer", peer)
 }
 
 func (s *Server) count(f func(*ServerStats)) {

@@ -15,6 +15,7 @@ import (
 
 	"vedrfolnir/internal/collective"
 	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/provenance"
 	"vedrfolnir/internal/simtime"
 	"vedrfolnir/internal/telemetry"
@@ -184,11 +185,17 @@ type Input struct {
 	// completed; both feed the confidence annotations.
 	RecordsExpected int
 	PollsLost       int
+	// Obs, when set, receives per-phase trace instants (at sim time ObsAt,
+	// the analysis point — typically the collective's completion time) and
+	// pipeline metrics. The nil default records nothing.
+	Obs   *obs.Scope
+	ObsAt simtime.Time
 }
 
 // Analyze runs the full §III-D pipeline.
 func Analyze(in Input) *Diagnosis {
 	d := &Diagnosis{PerCF: map[fabric.FlowKey]map[fabric.FlowKey]float64{}}
+	tr := in.Obs.T()
 
 	// 1. Waiting graph → bottleneck and critical flows.
 	d.WaitGraph = waitgraph.Build(in.Records)
@@ -199,13 +206,28 @@ func Analyze(in Input) *Diagnosis {
 			d.CriticalFlows = append(d.CriticalFlows, rec.Flow)
 		}
 	}
+	tr.Instant(obs.PidAnalyzer, 0, "phase", "waitgraph", in.ObsAt,
+		obs.I("records", int64(len(in.Records))),
+		obs.I("critical_steps", int64(len(d.CriticalPath))))
 
 	// 2. Aggregate provenance graph → signature findings.
 	d.Graph = provenance.Build(in.Reports, in.CFs)
 	d.Findings = findAnomalies(d.Graph, in)
+	var provEdges, provPorts int64
+	if in.Obs.Enabled() {
+		provEdges = provenanceEdges(d.Graph)
+		provPorts = int64(len(d.Graph.Ports()))
+	}
+	tr.Instant(obs.PidAnalyzer, 0, "phase", "provenance", in.ObsAt,
+		obs.I("reports", int64(len(in.Reports))),
+		obs.I("ports", provPorts),
+		obs.I("edges", provEdges),
+		obs.I("findings", int64(len(d.Findings))))
 
 	// 3. Contributor rating (Eqs. 2 and 3).
 	d.rate(in)
+	tr.Instant(obs.PidAnalyzer, 0, "phase", "rate", in.ObsAt,
+		obs.I("ratings", int64(len(d.Ratings))))
 
 	// 4. Confidence: score the observation coverage and annotate every
 	// finding and rating with it, so a diagnosis built from partial
@@ -228,7 +250,35 @@ func Analyze(in Input) *Diagnosis {
 	for i := range d.Ratings {
 		d.Ratings[i].Confidence = d.Confidence
 	}
+	tr.Instant(obs.PidAnalyzer, 0, "phase", "confidence", in.ObsAt,
+		obs.I("confidence_permille", int64(d.Confidence*1000)),
+		obs.I("ports_polled", int64(d.Coverage.PortsPolled)),
+		obs.I("polls_lost", int64(d.Coverage.PollsLost)))
+
+	if m := in.Obs.M(); m != nil {
+		m.Counter("vedr_diagnose_findings_total", "anomaly findings produced").Add(int64(len(d.Findings)))
+		m.Counter("vedr_diagnose_ratings_total", "Eq. 3 flow ratings produced").Add(int64(len(d.Ratings)))
+		m.Counter("vedr_provenance_edges_total", "flow-port and PFC edges in the aggregate provenance graph").Add(provEdges)
+		m.Gauge("vedr_diagnose_confidence_permille", "overall diagnosis confidence ×1000").Set(int64(d.Confidence * 1000))
+	}
 	return d
+}
+
+// provenanceEdges counts the aggregate graph's e(f,p) and e(p_i,p_j)
+// edges — the "how much structure did the analyzer see" metric.
+func provenanceEdges(g *provenance.Graph) int64 {
+	var edges int64
+	for _, p := range g.Ports() {
+		for _, f := range g.FlowsAt(p) {
+			if g.HasFlowPortEdge(f, p) {
+				edges++
+			}
+		}
+	}
+	for _, p := range g.PFCUpstreams() {
+		edges += int64(len(g.PFCOut(p)))
+	}
+	return edges
 }
 
 // findAnomalies applies the signature set of §III-D2 to the provenance

@@ -21,6 +21,7 @@ import (
 	"vedrfolnir/internal/diagnose"
 	"vedrfolnir/internal/fabric"
 	"vedrfolnir/internal/hostmon"
+	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/scenario"
 	"vedrfolnir/internal/simtime"
 	"vedrfolnir/internal/sweep"
@@ -419,7 +420,13 @@ type CaseStudy struct {
 }
 
 // Fig14 runs the case study and renders its graphs.
-func Fig14(cfg scenario.Config) (*CaseStudy, error) {
+func Fig14(cfg scenario.Config) (*CaseStudy, error) { return Fig14Obs(cfg, nil) }
+
+// Fig14Obs runs the case study with an observability scope threaded
+// through the whole pipeline — the contention timeline, monitor
+// detections, PFC events, and analyzer phases all land in the scope's
+// trace, making this the reference workload for trace golden tests.
+func Fig14Obs(cfg scenario.Config, scope *obs.Scope) (*CaseStudy, error) {
 	cs := scenario.Case{Kind: scenario.Contention, Seed: 14}
 	// BF1 (small) collides with the flow into rank 3; BF2 (5× larger)
 	// collides with the cross-pod flow into rank 4 — the chain that
@@ -431,7 +438,9 @@ func Fig14(cfg scenario.Config) (*CaseStudy, error) {
 		{Key: bf1, Bytes: cfg.ScaledBytes(90e6), StartAt: 0},
 		{Key: bf2, Bytes: cfg.ScaledBytes(450e6), StartAt: 0},
 	}
-	res, err := scenario.Run(cs, scenario.Vedrfolnir, cfg, scenario.DefaultRunOptions(cfg))
+	opts := scenario.DefaultRunOptions(cfg)
+	opts.Obs = scope
+	res, err := scenario.Run(cs, scenario.Vedrfolnir, cfg, opts)
 	if err != nil {
 		return nil, err
 	}

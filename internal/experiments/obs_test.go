@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vedrfolnir/internal/obs"
+	"vedrfolnir/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func fig14Trace(t *testing.T) []byte {
+	t.Helper()
+	scope := &obs.Scope{Trace: obs.NewTracer(), Metrics: obs.NewRegistry()}
+	if _, err := Fig14Obs(scenario.ConfigForScale(360), scope); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := scope.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFig14TraceGolden pins the Chrome trace of the Fig 14 contention case
+// study byte-for-byte. Any nondeterminism in the pipeline — map iteration,
+// float formatting, goroutine interleaving — shows up here as a diff.
+func TestFig14TraceGolden(t *testing.T) {
+	got := fig14Trace(t)
+	golden := filepath.Join("testdata", "fig14.trace.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Fig 14 trace drifted from golden (%d vs %d bytes); "+
+			"if the change is intentional, regenerate with -update", len(got), len(want))
+	}
+}
+
+// TestFig14TraceRepeatable runs the case study twice in-process: the trace
+// and flattened metrics must come out byte-identical.
+func TestFig14TraceRepeatable(t *testing.T) {
+	a, b := fig14Trace(t), fig14Trace(t)
+	if !bytes.Equal(a, b) {
+		t.Error("two Fig 14 runs produced different traces")
+	}
+}
+
+// TestFig14Metrics sanity-checks the registry side of the case-study run:
+// the cross-cutting counters the tentpole promises must all be populated.
+func TestFig14Metrics(t *testing.T) {
+	scope := &obs.Scope{Trace: obs.NewTracer(), Metrics: obs.NewRegistry()}
+	if _, err := Fig14Obs(scenario.ConfigForScale(360), scope); err != nil {
+		t.Fatal(err)
+	}
+	flat := scope.Metrics.Flatten()
+	for _, name := range []string{
+		"vedr_collective_steps_total",
+		"vedr_sim_events_total",
+		"vedr_sim_event_queue_max",
+		"vedr_monitor_detections_total",
+		"vedr_telemetry_bytes_total",
+		"vedr_diagnose_findings_total",
+		"vedr_provenance_edges_total",
+		"vedr_step_duration_ns_count",
+	} {
+		if flat[name] <= 0 {
+			t.Errorf("%s = %d, want > 0 (full metric set: %v)", name, flat[name], flat)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsWallClock tightens nosystime for the observability layer. Traces,
+// metrics and log lines produced by internal/obs must be pure functions of
+// the simulation: byte-identical across runs, machines and -workers
+// counts. That rules out not only the direct host-clock reads nosystime
+// already bans, but also the two sanctioned escape hatches that are legal
+// elsewhere in the tree:
+//
+//   - internal/simtime's Stopwatch (the Fig 11 profiling gateway) — a
+//     component that wants to record wall-clock readings must take them as
+//     plain values from its caller, keeping the recording path itself
+//     clock-free;
+//   - the wall-clock timestamp slog stamps on every Record — handlers must
+//     ignore Record.Time and stamp sim time instead.
+var ObsWallClock = &Analyzer{
+	Name: "obswallclock",
+	Doc: "forbid wall-clock dependence in internal/obs recording paths: no " +
+		"time.Now and friends, no simtime.Stopwatch, no slog Record.Time reads",
+	Run: runObsWallClock,
+}
+
+func runObsWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				if named, ok := s.Recv().(*types.Named); ok {
+					o := named.Obj()
+					if o.Pkg() != nil && o.Pkg().Path() == "log/slog" &&
+						o.Name() == "Record" && sel.Sel.Name == "Time" {
+						pass.Reportf(sel.Pos(),
+							"slog.Record.Time is the host clock; observability handlers must ignore it and stamp sim time instead")
+					}
+				}
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch {
+			case obj.Pkg().Path() == "time":
+				if fn, ok := obj.(*types.Func); ok && bannedTimeFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s in an observability recording path; traces and metrics must be keyed by sim time only",
+						fn.Name())
+				}
+			case obj.Pkg().Name() == "simtime" &&
+				(obj.Name() == "Stopwatch" || obj.Name() == "NewSystemStopwatch"):
+				pass.Reportf(sel.Pos(),
+					"simtime.%s in internal/obs: even the sanctioned stopwatch may not feed recorded values; take wall-clock readings as plain values from callers",
+					obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

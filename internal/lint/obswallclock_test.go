@@ -1,0 +1,90 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"vedrfolnir/internal/lint"
+)
+
+// TestObsWallClockStopwatch covers the half of the rule that linttest's
+// stdlib-only testdata cannot: references to internal/simtime's Stopwatch
+// gateway. The simtime package is synthesized with go/types and injected
+// through a fake importer, then the analyzer runs over a type-checked
+// source that uses it the way a tempted obs author would.
+func TestObsWallClockStopwatch(t *testing.T) {
+	const src = `package obs
+
+import "vedrfolnir/internal/simtime"
+
+type sampler struct {
+	clock simtime.Stopwatch
+}
+
+func start() {
+	s := sampler{clock: simtime.NewSystemStopwatch()}
+	_ = s
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "obs.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+
+	simtime := types.NewPackage("vedrfolnir/internal/simtime", "simtime")
+	iface := types.NewInterfaceType(nil, nil)
+	iface.Complete()
+	tn := types.NewTypeName(token.NoPos, simtime, "Stopwatch", nil)
+	named := types.NewNamed(tn, iface, nil)
+	simtime.Scope().Insert(tn)
+	ret := types.NewTuple(types.NewVar(token.NoPos, simtime, "", named))
+	sig := types.NewSignatureType(nil, nil, nil, nil, ret, false)
+	simtime.Scope().Insert(types.NewFunc(token.NoPos, simtime, "NewSystemStopwatch", sig))
+	simtime.MarkComplete()
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importerFunc(func(path string) (*types.Package, error) {
+		if path == "vedrfolnir/internal/simtime" {
+			return simtime, nil
+		}
+		t.Fatalf("unexpected import %q", path)
+		return nil, nil
+	})}
+	tpkg, err := conf.Check("vedrfolnir/internal/obs", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+
+	pkg := &lint.Package{Path: tpkg.Path(), Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{lint.ObsWallClock})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	// One finding per reference: the field's type and the constructor call.
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	wantNames := []string{"Stopwatch", "NewSystemStopwatch"}
+	for i, d := range diags {
+		if !strings.Contains(d.Message, "simtime."+wantNames[i]) {
+			t.Errorf("diagnostic %d = %q, want mention of simtime.%s", i, d.Message, wantNames[i])
+		}
+		if !strings.Contains(d.Message, "sanctioned stopwatch") {
+			t.Errorf("diagnostic %d = %q, want the stopwatch rationale", i, d.Message)
+		}
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

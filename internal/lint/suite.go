@@ -19,6 +19,9 @@ type SuiteEntry struct {
 //     internal/lint is host-side tooling, so both are exempt, as are the
 //     cmd/ CLIs and examples (wall-clock progress reporting is legitimate
 //     there).
+//   - obswallclock: internal/obs only — the observability layer's outputs
+//     must be byte-identical across runs, so even the sanctioned stopwatch
+//     gateway and slog's wall-clock record stamps are off-limits there.
 //   - seededrand, mapiterorder: everywhere — determinism is global.
 //   - nopanic: library (internal/...) packages except internal/lint's own
 //     testdata-free tooling; binaries may still crash on startup errors.
@@ -44,6 +47,10 @@ func Suite(modulePath string) []SuiteEntry {
 			sub, ok := internal(path)
 			return ok && sub != "simtime" && sub != "lint"
 		}},
+		{ObsWallClock, func(path string) bool {
+			sub, ok := internal(path)
+			return ok && sub == "obs"
+		}},
 		{SeededRand, func(string) bool { return true }},
 		{MapIterOrder, func(string) bool { return true }},
 		{NoPanic, func(path string) bool {
@@ -64,7 +71,7 @@ func Suite(modulePath string) []SuiteEntry {
 // Analyzers returns every analyzer in the suite, unscoped (for tests and
 // tools that want the full set).
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoSysTime, SeededRand, MapIterOrder, NoPanic, FloatEq}
+	return []*Analyzer{NoSysTime, ObsWallClock, SeededRand, MapIterOrder, NoPanic, FloatEq}
 }
 
 // RunSuite loads the packages matched by patterns (tests included) and

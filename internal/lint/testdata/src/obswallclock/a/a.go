@@ -1,0 +1,35 @@
+// Package a exercises the obswallclock analyzer: host-clock reads and
+// slog.Record's wall-clock timestamp are flagged in observability code,
+// duration arithmetic stays legal, and //lint:ignore suppresses a finding.
+// (The simtime.Stopwatch half of the rule is covered by a synthetic
+// go/types test, since testdata packages may import only the stdlib.)
+package a
+
+import (
+	"log/slog"
+	"time"
+)
+
+// Durations and constants remain fine: sim time aliases time.Duration.
+const tick = 2 * time.Microsecond
+
+func allowedArithmetic(d time.Duration) time.Duration {
+	return d + tick
+}
+
+func recording() {
+	_ = time.Now()   // want `time\.Now in an observability recording path`
+	time.Sleep(tick) // want `time\.Sleep in an observability recording path`
+}
+
+// A handler must not read the record's wall-clock stamp; the message and
+// attributes are fair game.
+func handle(r slog.Record) string {
+	_ = r.Time // want `slog\.Record\.Time is the host clock`
+	return r.Message
+}
+
+func suppressed() {
+	//lint:ignore obswallclock exercising the suppression path
+	_ = time.Now()
+}

@@ -14,6 +14,7 @@ import (
 
 	"vedrfolnir/internal/collective"
 	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/rdma"
 	"vedrfolnir/internal/sim"
 	"vedrfolnir/internal/simtime"
@@ -121,11 +122,19 @@ type Monitor struct {
 	minInterval simtime.Duration
 	lastTrigger simtime.Time
 
+	// Obs, when set, receives detection-level trace instants and metrics;
+	// the nil default records nothing.
+	Obs *obs.Scope
+
 	// Reports are the telemetry reports this monitor's detections
 	// produced, in trigger order.
 	Reports []*telemetry.Report
 	// Triggers counts detection activations.
 	Triggers int
+	// Suppressed counts over-threshold RTT samples whose detection was
+	// withheld by the per-step budget or the FCT-derived spacing — the
+	// triggers an unrestricted system would have fired.
+	Suppressed int
 	// StallTriggers counts detections fired by the stall watchdog.
 	StallTriggers int
 	// stallBudget bounds watchdog firings per step so a permanently
@@ -221,6 +230,14 @@ func NewSystem(k *sim.Kernel, net *fabric.Network, run *collective.Runner,
 	return sys
 }
 
+// SetObs attaches an observability scope to every monitor. Call before
+// the run starts; a nil scope (the default) records nothing.
+func (s *System) SetObs(scope *obs.Scope) {
+	for _, m := range s.Monitors {
+		m.Obs = scope
+	}
+}
+
 // Reports returns every monitor's retained reports, analyzer-ready.
 func (s *System) Reports() []*telemetry.Report {
 	var out []*telemetry.Report
@@ -235,6 +252,15 @@ func (s *System) Triggers() int {
 	n := 0
 	for _, m := range s.Monitors {
 		n += m.Triggers
+	}
+	return n
+}
+
+// Suppressed sums withheld detections across monitors.
+func (s *System) Suppressed() int {
+	n := 0
+	for _, m := range s.Monitors {
+		n += m.Suppressed
 	}
 	return n
 }
@@ -339,6 +365,10 @@ func (m *Monitor) armStallWatchdog() {
 		m.Triggers++
 		m.StallTriggers++
 		m.lastTrigger = m.K.Now()
+		m.Obs.T().Instant(obs.PidMonitor, int(m.Host), "detect", "stall-detect", m.lastTrigger,
+			obs.I("step", int64(step)))
+		m.Obs.M().Counter("vedr_monitor_stall_detections_total",
+			"detections fired by the stall watchdog").Inc()
 		m.collect(m.curFlow, maxPollRetries)
 		m.armStallWatchdog()
 	})
@@ -382,6 +412,10 @@ func (m *Monitor) HandleStepEnd(rec collective.StepRecord) {
 	count := m.budget
 	m.budget = 0
 	m.Transferred += count
+	m.Obs.T().Instant(obs.PidMonitor, int(m.Host), "transfer", "transfer", m.K.Now(),
+		obs.I("step", int64(rec.Step)), obs.I("to", int64(waiter)), obs.I("count", int64(count)))
+	m.Obs.M().Counter("vedr_monitor_opportunities_transferred_total",
+		"detection opportunities handed to waiting monitors").Add(int64(count))
 	pkt := &fabric.Packet{
 		Kind:    fabric.KindNotify,
 		Flow:    rec.Flow,
@@ -404,6 +438,11 @@ func (m *Monitor) HandleNotify(pkt *fabric.Packet) {
 	}
 	m.budget += payload.Count
 	m.Received += payload.Count
+	m.Obs.T().Instant(obs.PidMonitor, int(m.Host), "transfer", "notify-recv", m.K.Now(),
+		obs.I("from", int64(payload.From)), obs.I("step", int64(payload.Step)),
+		obs.I("count", int64(payload.Count)))
+	m.Obs.M().Counter("vedr_monitor_opportunities_received_total",
+		"detection opportunities accepted from notifications").Add(int64(payload.Count))
 }
 
 // HandleRTTSample applies the trigger decision of Fig 8 to one RTT
@@ -419,20 +458,34 @@ func (m *Monitor) HandleRTTSample(s rdma.RTTSample) {
 	now := m.K.Now()
 	if m.Cfg.Unrestricted {
 		if now.Sub(m.lastTrigger) < m.Cfg.UnrestrictedSpacing {
+			m.suppress(now)
 			return
 		}
 	} else {
-		if m.budget <= 0 {
-			return
-		}
-		if now.Sub(m.lastTrigger) < m.minInterval {
+		if m.budget <= 0 || now.Sub(m.lastTrigger) < m.minInterval {
+			m.suppress(now)
 			return
 		}
 		m.budget--
 	}
 	m.lastTrigger = now
 	m.Triggers++
+	m.Obs.T().Instant(obs.PidMonitor, int(m.Host), "detect", "detect", now,
+		obs.I("step", int64(m.curStep)), obs.I("rtt_ns", int64(s.RTT)),
+		obs.I("threshold_ns", int64(m.threshold)), obs.I("budget_left", int64(m.budget)))
+	m.Obs.M().Counter("vedr_monitor_detections_total",
+		"detection triggers fired across monitors").Inc()
 	m.collect(s.Flow, maxPollRetries)
+}
+
+// suppress accounts one over-threshold sample whose detection the budget
+// or spacing withheld.
+func (m *Monitor) suppress(now simtime.Time) {
+	m.Suppressed++
+	m.Obs.T().Instant(obs.PidMonitor, int(m.Host), "detect", "detect-suppressed", now,
+		obs.I("step", int64(m.curStep)), obs.I("budget_left", int64(m.budget)))
+	m.Obs.M().Counter("vedr_monitor_detections_suppressed_total",
+		"over-threshold samples withheld by the budget or trigger spacing").Inc()
 }
 
 // maxPollRetries bounds how many times a detection whose poll round trip
@@ -448,6 +501,10 @@ const maxPollRetries = 2
 func (m *Monitor) collect(flow fabric.FlowKey, retriesLeft int) {
 	if m.Gate != nil && m.Gate.PollLost() {
 		m.PollsLost++
+		m.Obs.T().Instant(obs.PidMonitor, int(m.Host), "poll", "poll-lost", m.K.Now(),
+			obs.I("retries_left", int64(retriesLeft)))
+		m.Obs.M().Counter("vedr_monitor_polls_lost_total",
+			"poll round trips eaten by fault injection").Inc()
 		if retriesLeft <= 0 {
 			return
 		}
@@ -457,11 +514,18 @@ func (m *Monitor) collect(flow fabric.FlowKey, retriesLeft int) {
 				return
 			}
 			m.PollRetries++
+			m.Obs.M().Counter("vedr_monitor_poll_retries_total",
+				"detections re-armed after a lost poll").Inc()
 			m.collect(flow, retriesLeft-1)
 		})
 		return
 	}
-	m.Reports = append(m.Reports, m.Col.Poll(flow, m.Cfg.Window))
+	rep := m.Col.Poll(flow, m.Cfg.Window)
+	m.Reports = append(m.Reports, rep)
+	m.Obs.T().Instant(obs.PidMonitor, int(m.Host), "poll", "poll", m.K.Now(),
+		obs.I("ports", int64(len(rep.Ports))), obs.I("ports_missed", int64(rep.PortsMissed)))
+	m.Obs.M().Counter("vedr_monitor_polls_total",
+		"completed telemetry poll round trips").Inc()
 }
 
 // retryTimeout derives the lost-poll re-arm delay from the step's estimated

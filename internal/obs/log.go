@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strconv"
+	"sync"
+
+	"vedrfolnir/internal/simtime"
+)
+
+// NewLogger returns a structured logger writing logfmt-style lines. When
+// now is non-nil, every record carries a leading sim=<duration> attribute
+// read from the simulation clock at handle time. The handler ignores the
+// record's wall-clock timestamp entirely — output for a deterministic run
+// is byte-identical across invocations.
+func NewLogger(w io.Writer, level slog.Level, now func() simtime.Time) *slog.Logger {
+	return slog.New(&textHandler{mu: &sync.Mutex{}, w: w, level: level, now: now})
+}
+
+// nopLogger discards everything; Scope.L returns it when no logger is
+// configured so call sites never nil-check.
+var nopLogger = slog.New(nopHandler{})
+
+// NopLogger returns a logger that discards every record — the default
+// for components whose callers did not configure logging.
+func NopLogger() *slog.Logger { return nopLogger }
+
+// WithSimClock returns a copy of l whose records carry sim=<now()> read
+// at handle time — how a run binds its kernel clock to a logger the
+// caller constructed before the kernel existed. Loggers not built by
+// NewLogger are returned unchanged.
+func WithSimClock(l *slog.Logger, now func() simtime.Time) *slog.Logger {
+	h, ok := l.Handler().(*textHandler)
+	if !ok || now == nil {
+		return l
+	}
+	nh := *h
+	nh.now = now
+	return slog.New(&nh)
+}
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+type textHandler struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	level  slog.Level
+	now    func() simtime.Time
+	prefix string      // dotted group path
+	attrs  []slog.Attr // pre-bound attributes, already prefixed
+}
+
+func (h *textHandler) Enabled(_ context.Context, l slog.Level) bool { return l >= h.level }
+
+func (h *textHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	nh.attrs = append(nh.attrs, h.attrs...)
+	for _, a := range attrs {
+		a.Key = h.prefix + a.Key
+		nh.attrs = append(nh.attrs, a)
+	}
+	return &nh
+}
+
+func (h *textHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := *h
+	nh.prefix = h.prefix + name + "."
+	return &nh
+}
+
+func (h *textHandler) Handle(_ context.Context, r slog.Record) error {
+	buf := make([]byte, 0, 128)
+	if h.now != nil {
+		buf = append(buf, "sim="...)
+		buf = append(buf, simtime.Duration(h.now()).String()...)
+		buf = append(buf, ' ')
+	}
+	buf = append(buf, "level="...)
+	buf = append(buf, r.Level.String()...)
+	buf = append(buf, " msg="...)
+	buf = appendLogValue(buf, r.Message)
+	for _, a := range h.attrs {
+		buf = appendAttr(buf, a, "")
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		buf = appendAttr(buf, a, h.prefix)
+		return true
+	})
+	buf = append(buf, '\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := h.w.Write(buf)
+	return err
+}
+
+func appendAttr(buf []byte, a slog.Attr, prefix string) []byte {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		sub := prefix + a.Key
+		if sub != "" {
+			sub += "."
+		}
+		for _, ga := range v.Group() {
+			buf = appendAttr(buf, ga, sub)
+		}
+		return buf
+	}
+	buf = append(buf, ' ')
+	buf = append(buf, prefix...)
+	buf = append(buf, a.Key...)
+	buf = append(buf, '=')
+	switch v.Kind() {
+	case slog.KindInt64:
+		buf = strconv.AppendInt(buf, v.Int64(), 10)
+	case slog.KindUint64:
+		buf = strconv.AppendUint(buf, v.Uint64(), 10)
+	case slog.KindBool:
+		buf = strconv.AppendBool(buf, v.Bool())
+	case slog.KindDuration:
+		buf = append(buf, v.Duration().String()...)
+	case slog.KindString:
+		buf = appendLogValue(buf, v.String())
+	default:
+		buf = appendLogValue(buf, fmt.Sprintf("%v", v.Any()))
+	}
+	return buf
+}
+
+// appendLogValue quotes a string only when it needs it, logfmt-style.
+func appendLogValue(buf []byte, s string) []byte {
+	plain := s != ""
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == '"' || c == '=' || c >= 0x7f {
+			plain = false
+			break
+		}
+	}
+	if plain {
+		return append(buf, s...)
+	}
+	return strconv.AppendQuote(buf, s)
+}

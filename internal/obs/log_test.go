@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"vedrfolnir/internal/simtime"
+)
+
+func TestLoggerSimTime(t *testing.T) {
+	var buf bytes.Buffer
+	clock := simtime.Time(1_500_000)
+	log := NewLogger(&buf, slog.LevelInfo, func() simtime.Time { return clock })
+	log.Info("step done", "step", 3, "bytes", int64(4096))
+	clock = 2_000_000
+	log.Warn("rtt over threshold", "rtt", simtime.Duration(250_000))
+
+	want := "sim=1.5ms level=INFO msg=\"step done\" step=3 bytes=4096\n" +
+		"sim=2ms level=WARN msg=\"rtt over threshold\" rtt=250µs\n"
+	if got := buf.String(); got != want {
+		t.Errorf("log output:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerNoClock(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelDebug, nil)
+	log.Debug("plain")
+	if got := buf.String(); got != "level=DEBUG msg=plain\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelWarn, nil)
+	log.Info("dropped")
+	log.Warn("kept")
+	if got := buf.String(); got != "level=WARN msg=kept\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestLoggerGroupsAndAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo, nil).
+		With("host", 2).WithGroup("poll").With("round", 7)
+	log.Info("lost", "ports", 3)
+	want := "level=INFO msg=lost host=2 poll.round=7 poll.ports=3\n"
+	if got := buf.String(); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo, nil)
+	log.Info("msg with spaces", "k", `quote"eq=`, "empty", "", "ok", true)
+	want := `level=INFO msg="msg with spaces" k="quote\"eq=" empty="" ok=true` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestWithSimClock(t *testing.T) {
+	var buf bytes.Buffer
+	base := NewLogger(&buf, slog.LevelInfo, nil)
+	bound := WithSimClock(base, func() simtime.Time { return 42_000 })
+	bound.Info("bound")
+	base.Info("unbound")
+	want := "sim=42µs level=INFO msg=bound\nlevel=INFO msg=unbound\n"
+	if got := buf.String(); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	// Foreign handlers pass through untouched.
+	if got := WithSimClock(NopLogger(), func() simtime.Time { return 1 }); got != NopLogger() {
+		t.Error("WithSimClock rewrapped a non-obs handler")
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	NopLogger().Info("goes nowhere", "k", 1)
+	var s *Scope
+	s.L().Warn("nil scope logs safely")
+	if s.Enabled() || s.T() != nil || s.M() != nil {
+		t.Error("nil scope not inert")
+	}
+	if (&Scope{Trace: NewTracer()}).Enabled() == false {
+		t.Error("scope with tracer not enabled")
+	}
+}
+
+func TestLoggerDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		log := NewLogger(&buf, slog.LevelInfo, func() simtime.Time { return 7 })
+		for i := 0; i < 50; i++ {
+			log.Info("tick", "i", i)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Error("identical log sequences rendered differently")
+	}
+	if strings.Contains(a, "time=") {
+		t.Error("wall-clock timestamp leaked into log output")
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c", "ignored"); again != c {
+		t.Error("re-registering a counter did not return the same instance")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Max(3) // lower: no-op
+	g.Max(9)
+	if got := g.Value(); got != 9 {
+		t.Errorf("gauge = %d, want 9", got)
+	}
+
+	r.GaugeFunc("gf", "computed", func() int64 { return 42 })
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "a histogram", []int64{100, 10, 1000}) // unsorted on purpose
+	for _, v := range []int64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("got %d samples, want 1", len(snap))
+	}
+	s := snap[0]
+	want := []Bucket{{Le: 10, Count: 2}, {Le: 100, Count: 4}, {Le: 1000, Count: 4}}
+	if !reflect.DeepEqual(s.Buckets, want) {
+		t.Errorf("buckets = %v, want %v", s.Buckets, want)
+	}
+	if s.Count != 5 || s.Sum != 5126 {
+		t.Errorf("count/sum = %d/%d, want 5/5126", s.Count, s.Sum)
+	}
+}
+
+func TestSnapshotSortedAndFlatten(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("zz", "").Set(1)
+	r.Counter("aa", "").Add(2)
+	r.Histogram("mm", "", []int64{10}).Observe(3)
+
+	snap := r.Snapshot()
+	var names []string
+	for _, s := range snap {
+		names = append(names, s.Name)
+	}
+	if !reflect.DeepEqual(names, []string{"aa", "mm", "zz"}) {
+		t.Errorf("snapshot order = %v, want sorted by name", names)
+	}
+
+	flat := r.Flatten()
+	want := map[string]int64{"aa": 2, "zz": 1, "mm_sum": 3, "mm_count": 1}
+	if !reflect.DeepEqual(flat, want) {
+		t.Errorf("Flatten = %v, want %v", flat, want)
+	}
+}
+
+// TestKindClashDetaches pins the nopanic behaviour: registering an
+// existing name under a different kind yields a working but unrecorded
+// metric instead of panicking.
+func TestKindClashDetaches(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "").Add(3)
+	g := r.Gauge("m", "clashing kind")
+	g.Set(99) // must not crash, must not clobber the counter
+	flat := r.Flatten()
+	if flat["m"] != 3 {
+		t.Errorf("counter value after clash = %d, want 3", flat["m"])
+	}
+	if len(flat) != 1 {
+		t.Errorf("Flatten = %v, want only the original counter", flat)
+	}
+}
+
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Counter("c", "").Inc()
+	r.Gauge("g", "").Set(1)
+	r.GaugeFunc("gf", "", func() int64 { return 1 })
+	r.Histogram("h", "", []int64{1}).Observe(1)
+	if r.Snapshot() != nil || r.Flatten() != nil {
+		t.Error("nil registry snapshot/flatten not nil")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c", "").Inc()
+				r.Gauge("g", "").Max(int64(j))
+				r.Histogram("h", "", []int64{500}).Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	flat := r.Flatten()
+	if flat["c"] != 8000 {
+		t.Errorf("counter = %d, want 8000", flat["c"])
+	}
+	if flat["g"] != 999 {
+		t.Errorf("gauge max = %d, want 999", flat["g"])
+	}
+	if flat["h_count"] != 8000 {
+		t.Errorf("histogram count = %d, want 8000", flat["h_count"])
+	}
+}

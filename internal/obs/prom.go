@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bufio"
+	"expvar"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers and one sample line per
+// metric, sorted by name. Histograms render cumulative _bucket lines plus
+// _sum and _count. The rendering is deterministic for a fixed registry
+// state — integer values only, sorted names.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range r.Snapshot() {
+		if s.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(s.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(s.Help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(s.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(s.Kind.String())
+		bw.WriteByte('\n')
+		if s.Kind == KindHistogram {
+			for _, b := range s.Buckets {
+				bw.WriteString(s.Name)
+				bw.WriteString(`_bucket{le="`)
+				bw.WriteString(strconv.FormatInt(b.Le, 10))
+				bw.WriteString(`"} `)
+				bw.WriteString(strconv.FormatInt(b.Count, 10))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString(s.Name)
+			bw.WriteString(`_bucket{le="+Inf"} `)
+			bw.WriteString(strconv.FormatInt(s.Count, 10))
+			bw.WriteByte('\n')
+			bw.WriteString(s.Name)
+			bw.WriteString("_sum ")
+			bw.WriteString(strconv.FormatInt(s.Sum, 10))
+			bw.WriteByte('\n')
+			bw.WriteString(s.Name)
+			bw.WriteString("_count ")
+			bw.WriteString(strconv.FormatInt(s.Count, 10))
+			bw.WriteByte('\n')
+			continue
+		}
+		bw.WriteString(s.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(s.Value, 10))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// PublishExpvar exposes the registry's flattened snapshot as an expvar
+// variable. Re-publishing an existing name is a no-op (expvar.Publish
+// would panic), so restarting servers in one process is safe.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || name == "" || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Flatten() }))
+}
+
+// Handler serves the registry as Prometheus text.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Mux returns the standard introspection surface every daemon serves:
+// /metrics (Prometheus text), /debug/vars (expvar JSON), and
+// /debug/pprof/* (runtime profiles) — the live side of the observability
+// layer, mounted explicitly so nothing leaks onto http.DefaultServeMux.
+func Mux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func promRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("vedr_sim_events_total", "kernel events executed").Add(71767)
+	r.Gauge("vedr_sim_event_queue_max", "event-queue depth high-water mark").Set(129)
+	h := r.Histogram("vedr_step_duration_ns", "collective step execution time (ns)",
+		[]int64{1000, 4000, 16000})
+	for _, v := range []int64{500, 1500, 2000, 20000} {
+		h.Observe(v)
+	}
+	r.GaugeFunc("vedr_sweep_cases", "planned sweep cases", func() int64 { return 30 })
+	return r
+}
+
+// TestPrometheusGolden pins the text exposition rendering byte-for-byte:
+// sorted names, HELP/TYPE headers, cumulative buckets with a +Inf
+// terminator, integer-only values.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.prom")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Prometheus rendering drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	srv := httptest.NewServer(Mux(promRegistry()))
+	defer srv.Close()
+
+	resp := httptest.NewRecorder()
+	Mux(promRegistry()).ServeHTTP(resp, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := resp.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type = %q", ct)
+	}
+	if !bytes.Contains(resp.Body.Bytes(), []byte("vedr_sim_events_total 71767")) {
+		t.Errorf("missing counter in /metrics body:\n%s", resp.Body.String())
+	}
+
+	vars := httptest.NewRecorder()
+	Mux(promRegistry()).ServeHTTP(vars, httptest.NewRequest("GET", "/debug/vars", nil))
+	if vars.Code != 200 {
+		t.Errorf("/debug/vars status = %d", vars.Code)
+	}
+
+	pprofIdx := httptest.NewRecorder()
+	Mux(promRegistry()).ServeHTTP(pprofIdx, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if pprofIdx.Code != 200 {
+		t.Errorf("/debug/pprof/ status = %d", pprofIdx.Code)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := promRegistry()
+	r.PublishExpvar("obs_test_registry")
+	// Re-publishing (same or another registry) must not panic.
+	r.PublishExpvar("obs_test_registry")
+	NewRegistry().PublishExpvar("obs_test_registry")
+
+	vars := httptest.NewRecorder()
+	Mux(r).ServeHTTP(vars, httptest.NewRequest("GET", "/debug/vars", nil))
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal(vars.Body.Bytes(), &all); err != nil {
+		t.Fatalf("expvar output not JSON: %v", err)
+	}
+	var flat map[string]int64
+	if err := json.Unmarshal(all["obs_test_registry"], &flat); err != nil {
+		t.Fatalf("published registry not JSON: %v", err)
+	}
+	if flat["vedr_sim_events_total"] != 71767 {
+		t.Errorf("expvar snapshot = %v", flat)
+	}
+}

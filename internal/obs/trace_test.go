@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vedrfolnir/internal/simtime"
+)
+
+func buildTrace() *Tracer {
+	tr := NewTracer()
+	tr.NameProcess(PidCollective, "collective")
+	tr.NameProcess(PidKernel, "kernel")
+	tr.NameThread(PidCollective, 1, "rank 1")
+	tr.NameThread(PidCollective, 0, "rank 0")
+	tr.Span(PidCollective, 0, "step", "S0", simtime.Time(1500), simtime.Time(4750),
+		I("bytes", 4096), S("flow", "1>2"))
+	tr.Instant(PidCollective, 1, "queue", "step-start", simtime.Time(2000), I("step", 1))
+	tr.Counter(PidKernel, "events", simtime.Time(3000), I("pending", 7))
+	return tr
+}
+
+func TestTracerDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildTrace().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildTrace().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two identical traces rendered differently:\n%s\n----\n%s", a.String(), b.String())
+	}
+}
+
+func TestTracerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// The file must be valid JSON: an array of event objects.
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	// 2 process_name + 2 thread_name + span + instant + counter.
+	if len(events) != 7 {
+		t.Fatalf("got %d events, want 7:\n%s", len(events), out)
+	}
+
+	// Metadata precedes payload events and is sorted by (pid, tid)
+	// regardless of naming order.
+	if events[0]["name"] != "process_name" || events[0]["pid"] != float64(0) {
+		t.Errorf("event 0 = %v, want kernel process_name first", events[0])
+	}
+	if events[3]["name"] != "thread_name" || events[3]["tid"] != float64(1) {
+		t.Errorf("event 3 = %v, want rank 1 thread_name", events[3])
+	}
+
+	// Timestamps are microseconds with a fixed 3-digit nanosecond
+	// fraction: 1500 ns -> 1.500, duration 3250 ns -> 3.250.
+	if !strings.Contains(out, `"ts":1.500,"dur":3.250`) {
+		t.Errorf("span ts/dur not rendered as fixed-point micros:\n%s", out)
+	}
+	// Instants carry thread scope for Perfetto.
+	if !strings.Contains(out, `"ph":"i"`) || !strings.Contains(out, `"s":"t"`) {
+		t.Errorf("instant missing ph/s markers:\n%s", out)
+	}
+	if !strings.Contains(out, `"flow":"1>2"`) || !strings.Contains(out, `"bytes":4096`) {
+		t.Errorf("span args missing:\n%s", out)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.NameProcess(1, "x")
+	tr.NameThread(1, 2, "y")
+	tr.Span(1, 2, "c", "n", 0, 1)
+	tr.Instant(1, 2, "c", "n", 0)
+	tr.Counter(1, "n", 0)
+	if tr.Len() != 0 {
+		t.Errorf("nil tracer Len = %d, want 0", tr.Len())
+	}
+}
+
+func TestAppendMicros(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{0, "0.000"},
+		{1, "0.001"},
+		{999, "0.999"},
+		{1000, "1.000"},
+		{1500, "1.500"},
+		{123456789, "123456.789"},
+	}
+	for _, c := range cases {
+		if got := string(appendMicros(nil, c.ns)); got != c.want {
+			t.Errorf("appendMicros(%d) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"fmt"
+
+	"vedrfolnir/internal/chaos"
+	"vedrfolnir/internal/collective"
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/monitor"
+	"vedrfolnir/internal/obs"
+	"vedrfolnir/internal/sim"
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/telemetry"
+	"vedrfolnir/internal/topo"
+)
+
+// stepDurBoundsNS are the vedr_step_duration_ns histogram buckets: 1 µs
+// to ~1 s in powers of four, wide enough for every workload scale.
+var stepDurBoundsNS = []int64{
+	1_000, 4_000, 16_000, 64_000, 256_000,
+	1_024_000, 4_096_000, 16_384_000, 65_536_000, 262_144_000, 1_048_576_000,
+}
+
+// instrumentRun chains the observability hooks into a built run: track
+// names, per-step spans with SSQ/RSQ transition instants, and the monitor
+// scope. Call only when scope is enabled; everything recorded is keyed by
+// sim time, so the trace is deterministic.
+func instrumentRun(scope *obs.Scope, run *collective.Runner, sys *monitor.System, ranks []topo.NodeID) {
+	tr := scope.T()
+	tr.NameProcess(obs.PidKernel, "kernel")
+	tr.NameProcess(obs.PidCollective, "collective")
+	tr.NameProcess(obs.PidMonitor, "monitor")
+	tr.NameProcess(obs.PidFabric, "fabric")
+	tr.NameProcess(obs.PidAnalyzer, "analyzer")
+	tr.NameThread(obs.PidAnalyzer, 0, "phases")
+	for _, id := range ranks {
+		tr.NameThread(obs.PidCollective, int(id), fmt.Sprintf("rank %d", id))
+		if sys != nil && sys.Monitors[id] != nil {
+			tr.NameThread(obs.PidMonitor, int(id), fmt.Sprintf("monitor %d", id))
+		}
+	}
+	if sys != nil {
+		sys.SetObs(scope)
+	}
+
+	steps := scope.M().Counter("vedr_collective_steps_total", "collective steps completed")
+	stepDur := scope.M().Histogram("vedr_step_duration_ns",
+		"collective step execution time (ns)", stepDurBoundsNS)
+
+	prevStart := run.OnStepStart
+	run.OnStepStart = func(host topo.NodeID, step int, flow fabric.FlowKey, at simtime.Time) {
+		if prevStart != nil {
+			prevStart(host, step, flow, at)
+		}
+		// The SSQ/RSQ indices at step entry are the Table I wait-state
+		// inputs; recording them at every transition makes the waiting
+		// decomposition visible on the timeline.
+		tr.Instant(obs.PidCollective, int(host), "queue", "step-start", at,
+			obs.I("step", int64(step)),
+			obs.I("ssq", int64(run.SendIndex(host))),
+			obs.I("rsq", int64(run.RecvIndex(host))),
+			obs.S("flow", flow.String()))
+	}
+	prevEnd := run.OnStepEnd
+	run.OnStepEnd = func(rec collective.StepRecord) {
+		if prevEnd != nil {
+			prevEnd(rec)
+		}
+		bound := int64(0)
+		if rec.BoundByWait {
+			bound = 1
+		}
+		tr.Span(obs.PidCollective, int(rec.Host), "step", fmt.Sprintf("S%d", rec.Step),
+			rec.Start, rec.End,
+			obs.I("bytes", rec.Bytes),
+			obs.I("wait_src", int64(rec.WaitSrc)),
+			obs.I("bound_by_wait", bound))
+		steps.Inc()
+		stepDur.Observe(int64(rec.End.Sub(rec.Start)))
+	}
+}
+
+// recordRunObs snapshots the post-run state into the scope: the PFC
+// pause/resume timeline (the fabric's PFCLog is append-ordered by sim
+// time), fabric and kernel counters, control-plane overhead, and chaos
+// fault totals.
+func recordRunObs(scope *obs.Scope, k *sim.Kernel, net *fabric.Network,
+	totals telemetry.Overhead, ch *chaos.Chaos, doneAt simtime.Time, completed bool) {
+
+	tr := scope.T()
+	var pauses, resumes int64
+	for _, ev := range net.PFCLog {
+		name := "pfc-resume"
+		if ev.Pause {
+			name = "pfc-pause"
+			pauses++
+		} else {
+			resumes++
+		}
+		injected := int64(0)
+		if ev.Injected {
+			injected = 1
+		}
+		tr.NameThread(obs.PidFabric, int(ev.Upstream.Node), fmt.Sprintf("switch %d", ev.Upstream.Node))
+		tr.Instant(obs.PidFabric, int(ev.Upstream.Node), "pfc", name, ev.At,
+			obs.I("port", int64(ev.Upstream.Port)),
+			obs.I("downstream", int64(ev.Downstream)),
+			obs.I("cause_egress", int64(ev.CauseEgress)),
+			obs.I("injected", injected))
+	}
+
+	m := scope.M()
+	m.Counter("vedr_fabric_pfc_pauses_total", "PFC pause frames logged").Add(pauses)
+	m.Counter("vedr_fabric_pfc_resumes_total", "PFC resume frames logged").Add(resumes)
+	m.Counter("vedr_fabric_ecn_marks_total", "ECN CE marks applied at switch egresses").Add(net.ECNMarksTotal())
+	m.Counter("vedr_sim_events_total", "kernel events executed").Add(int64(k.Events()))
+	m.Gauge("vedr_sim_event_queue_max", "event-queue depth high-water mark").Max(int64(k.MaxPending()))
+	m.Counter("vedr_telemetry_bytes_total", "telemetry record bytes collected").Add(totals.TelemetryBytes)
+	m.Counter("vedr_poll_bytes_total", "poll-query bytes crossing switch hops").Add(totals.PollBytes)
+	m.Counter("vedr_report_bytes_total", "switch-to-analyzer report bytes").Add(totals.ReportBytes)
+	m.Counter("vedr_notify_bytes_total", "notification-packet bytes").Add(totals.NotifyBytes)
+	if ch != nil {
+		m.Counter("vedr_chaos_faults_total", "control-plane faults injected").Add(int64(ch.Stats.Total()))
+		m.Counter("vedr_chaos_notify_dropped_total", "notification packets dropped").Add(int64(ch.Stats.NotifyDropped))
+		m.Counter("vedr_chaos_monitor_kills_total", "monitor processes killed").Add(int64(ch.Stats.MonitorKills))
+	}
+
+	obs.WithSimClock(scope.L(), k.Now).Info("collective run finished",
+		"done", simtime.Duration(doneAt), "completed", completed,
+		"events", int64(k.Events()), "pfc_pauses", pauses)
+}

@@ -11,6 +11,7 @@ import (
 	"vedrfolnir/internal/diagnose"
 	"vedrfolnir/internal/fabric"
 	"vedrfolnir/internal/monitor"
+	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/rdma"
 	"vedrfolnir/internal/sim"
 	"vedrfolnir/internal/simtime"
@@ -86,6 +87,10 @@ type RunOptions struct {
 	// Chaos, when Active, injects control-plane faults into the run
 	// (internal/chaos). The zero value leaves the pipeline untouched.
 	Chaos chaos.Config
+	// Obs, when enabled, receives sim-time trace events, metrics, and
+	// structured logs from every layer of the run. The nil default records
+	// nothing and leaves the run byte-identical to an uninstrumented one.
+	Obs *obs.Scope
 }
 
 // DefaultRunOptions returns each system's paper operating point, adapted to
@@ -188,6 +193,10 @@ func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) (Result, error
 		fp.Start()
 		reports = func() []*telemetry.Report { return fp.Reports }
 		totals = func() telemetry.Overhead { return fp.Col.Totals }
+	}
+
+	if opts.Obs.Enabled() {
+		instrumentRun(opts.Obs, run, sys, ranks)
 	}
 
 	// Wire the fault-injection layer. Every hook is nil by default, so an
@@ -309,7 +318,12 @@ func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) (Result, error
 		},
 		RecordsExpected: expectedRecords,
 		PollsLost:       pollsLost,
+		Obs:             opts.Obs,
+		ObsAt:           k.Now(),
 	})
+	if opts.Obs.Enabled() {
+		recordRunObs(opts.Obs, k, net, totals(), ch, doneAt, completed)
+	}
 
 	res := Result{
 		Case:           cs,

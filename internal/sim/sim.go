@@ -20,6 +20,7 @@ type Kernel struct {
 	stopped bool
 	events  uint64
 	limit   uint64
+	maxq    int
 }
 
 // New returns a kernel whose random source is seeded with seed, so two runs
@@ -49,7 +50,11 @@ func (k *Kernel) At(at simtime.Time, fn func()) *eventq.Event {
 		//lint:ignore nopanic causality invariant: a past-dated event would silently reorder the run; documented API contract
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, k.now))
 	}
-	return k.q.Push(at, fn)
+	e := k.q.Push(at, fn)
+	if n := k.q.Len(); n > k.maxq {
+		k.maxq = n
+	}
+	return e
 }
 
 // After schedules fn to run d after the current time.
@@ -97,3 +102,7 @@ func (k *Kernel) Run(until simtime.Time) simtime.Time {
 
 // Pending returns the number of not-yet-executed events.
 func (k *Kernel) Pending() int { return k.q.Len() }
+
+// MaxPending returns the high-water mark of the event queue depth — how
+// deep the scheduler backlog ever got during the run.
+func (k *Kernel) MaxPending() int { return k.maxq }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/simtime"
 )
 
@@ -44,6 +45,14 @@ type Options struct {
 	// it finishes on its own; its late result is discarded. A resumed
 	// sweep re-runs timed-out jobs like any other failure.
 	JobTimeout time.Duration
+	// Obs, when enabled, receives sweep-level metrics (updated live from
+	// the merging goroutine, so a /metrics endpoint can watch progress)
+	// and, on completion, a per-case trace laid out in job order on the
+	// sim-time axis — byte-identical at any worker count. Per-job
+	// simulations are not individually traced here; wall-clock state
+	// (vedr_sweep_wall_ms) comes from the sanctioned stopwatch and feeds
+	// only the live endpoint and summary line, never the trace.
+	Obs *obs.Scope
 }
 
 // Summary is a completed (or interrupted) run: results merged in job
@@ -125,6 +134,7 @@ func Run(jobs []Job, exec Exec, opts Options) (*Summary, error) {
 	}
 
 	prog := newProgress(opts, n, sum.Skipped)
+	met := newSweepMetrics(opts, n, sum.Skipped)
 	if len(pending) > 0 {
 		type indexed struct {
 			idx int
@@ -172,6 +182,7 @@ func Run(jobs []Job, exec Exec, opts Options) (*Summary, error) {
 			if opts.OnResult != nil {
 				opts.OnResult(x.r)
 			}
+			met.step(x.r)
 			prog.step()
 			if opts.StopAfter > 0 && finished >= opts.StopAfter {
 				interrupt()
@@ -193,6 +204,8 @@ func Run(jobs []Job, exec Exec, opts Options) (*Summary, error) {
 			sum.Failed = append(sum.Failed, keys[i])
 		}
 	}
+	met.finish(sum)
+	traceSweep(opts.Obs.T(), sum)
 	prog.done(sum)
 	if opts.Journal != nil && !sum.Interrupted {
 		if err := opts.Journal.Compact(sum.Results); err != nil {

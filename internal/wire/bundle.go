@@ -7,6 +7,7 @@ import (
 	"vedrfolnir/internal/collective"
 	"vedrfolnir/internal/diagnose"
 	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/telemetry"
 	"vedrfolnir/internal/waitgraph"
 )
@@ -18,6 +19,11 @@ type Bundle struct {
 	Records []StepRecord `json:"records"`
 	Reports []Report     `json:"reports"`
 	CFs     []Flow       `json:"cfs"`
+	// Metrics is an optional observability snapshot (internal/obs
+	// Registry.Flatten) taken when the bundle was produced. omitempty
+	// keeps bundles from uninstrumented runs byte-identical to before the
+	// field existed.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
 }
 
 // NewBundle converts internal analyzer inputs into exchange form.
@@ -55,6 +61,13 @@ func ReadBundle(r io.Reader) (*Bundle, error) {
 // Analyze reconstructs the internal inputs and runs the analyzer. The
 // step index for per-step provenance grouping is rebuilt from the records.
 func (b *Bundle) Analyze() *diagnose.Diagnosis {
+	return b.AnalyzeObs(nil)
+}
+
+// AnalyzeObs is Analyze with an observability scope threaded into the
+// analyzer: phase instants land on the trace and diagnosis counters on the
+// registry. A nil scope behaves exactly like Analyze.
+func (b *Bundle) AnalyzeObs(scope *obs.Scope) *diagnose.Diagnosis {
 	var records []collective.StepRecord
 	index := map[fabric.FlowKey]waitgraph.StepRef{}
 	for _, r := range b.Records {
@@ -78,5 +91,6 @@ func (b *Bundle) Analyze() *diagnose.Diagnosis {
 			ref, ok := index[f]
 			return ref, ok
 		},
+		Obs: scope,
 	})
 }

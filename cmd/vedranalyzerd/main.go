@@ -2,19 +2,35 @@
 // architecture as a long-lived network service: host agents connect over
 // TCP and stream step records, telemetry reports and collective-flow
 // registrations as newline-delimited JSON; on SIGINT/SIGTERM (or after
-// -after) the daemon prints the diagnosis over everything ingested and
-// exits.
+// -after) the daemon drains, prints the diagnosis over everything
+// ingested, and exits 0.
 //
 // Usage:
 //
 //	vedranalyzerd [-listen 127.0.0.1:7391] [-after 30s] [-json]
 //	              [-read-timeout 2m] [-max-line 16777216]
+//	              [-wal-dir DIR] [-fsync always|interval|off]
+//	              [-snapshot-every N] [-queue N] [-rate R] [-burst N]
+//	vedranalyzerd supervise [-backoff 200ms] [-crash-loops 5] -- <daemon flags>
 //
 // The service is hardened against misbehaving agents: -read-timeout drops
 // a connection that stops delivering bytes, -max-line caps one protocol
 // line, malformed lines are skipped with a counter, and sequence-numbered
 // submissions are acknowledged for exactly-once resubmission (see
 // internal/analyzerd). Abuse counters print alongside the ingest totals.
+//
+// With -wal-dir every accepted message is write-ahead-logged before it is
+// acknowledged and the daemon snapshots its state there; a restarted
+// daemon recovers a byte-identical diagnosis from the snapshot plus the
+// log tail. -queue bounds the ingest queue and -rate/-burst cap each
+// client's submission rate; both overload paths answer with explicit
+// retryable NACKs that the reliable client backs off on. The obs listener
+// additionally serves /healthz and /readyz probes.
+//
+// The supervise subcommand re-runs the daemon under a restart-with-backoff
+// loop: a clean exit (0) ends supervision, a crash restarts the daemon
+// after exponential backoff, and too many consecutive short-lived runs is
+// declared a crash loop and gives up rather than burning CPU forever.
 package main
 
 import (
@@ -25,6 +41,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
 	"syscall"
 	"time"
@@ -35,6 +52,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "supervise" {
+		os.Exit(supervise(os.Args[2:]))
+	}
+	os.Exit(run())
+}
+
+func run() int {
 	listen := flag.String("listen", "127.0.0.1:7391", "TCP listen address")
 	after := flag.Duration("after", 0, "diagnose and exit after this duration (0 = wait for SIGINT)")
 	asJSON := flag.Bool("json", false, "emit the diagnosis as JSON")
@@ -43,34 +67,56 @@ func main() {
 		"drop a connection idle for this long (0 = never)")
 	flag.IntVar(&scfg.MaxLineBytes, "max-line", scfg.MaxLineBytes,
 		"maximum protocol line size in bytes")
+	flag.IntVar(&scfg.MaxQueue, "queue", scfg.MaxQueue,
+		"ingest queue bound; a full queue NACKs with retry")
+	flag.Float64Var(&scfg.RateLimit.Rate, "rate", 0,
+		"per-client sustained messages/second (0 = unlimited)")
+	flag.IntVar(&scfg.RateLimit.Burst, "burst", 0,
+		"per-client token bucket depth (0 = derived from -rate)")
+	flag.DurationVar(&scfg.AckTTL, "ack-ttl", 0,
+		"evict a disconnected client's ack window after this idle time (0 = default 15m, <0 = never)")
+	walDir := flag.String("wal-dir", "",
+		"write-ahead log + snapshot directory; empty disables durability")
+	fsyncMode := flag.String("fsync", "always",
+		"WAL fsync policy with -wal-dir: always|interval|off")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond,
+		"sync pacing for -fsync interval")
+	snapshotEvery := flag.Int("snapshot-every", 0,
+		"snapshot state every N accepted messages with -wal-dir (0 = only on drain)")
 	obsListen := flag.String("obs-listen", "",
-		"serve live /metrics, /debug/vars and /debug/pprof on this address")
+		"serve live /metrics, /healthz, /readyz, /debug/vars and /debug/pprof on this address")
 	verbose := flag.Bool("v", false, "log connection and ingest events on stderr")
 	flag.Parse()
 
 	if *verbose {
 		scfg.Log = obs.NewLogger(os.Stderr, slog.LevelDebug, nil)
 	}
+	if *walDir != "" {
+		policy, err := analyzerd.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
+			return 1
+		}
+		scfg.Durability = &analyzerd.DurabilityConfig{
+			Dir:           *walDir,
+			Fsync:         policy,
+			FsyncInterval: *fsyncInterval,
+			SnapshotEvery: *snapshotEvery,
+		}
+	}
 	srv, err := analyzerd.ServeWith(*listen, scfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Println("analyzer listening on", srv.Addr())
-
-	if *obsListen != "" {
-		reg := obs.NewRegistry()
-		srv.PublishStats(reg)
-		reg.PublishExpvar("vedranalyzerd")
-		ln, err := net.Listen("tcp", *obsListen)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "vedranalyzerd: obs on http://%s/metrics\n", ln.Addr())
-		go http.Serve(ln, obs.Mux(reg))
+	if rec := srv.Recovery(); rec.SnapshotLoaded || rec.WALEntries > 0 || rec.WALTruncatedBytes > 0 {
+		fmt.Fprintf(os.Stderr,
+			"vedranalyzerd: recovered %d snapshot records, %d WAL entries (%d skipped, %d malformed, %d tail bytes dropped)\n",
+			rec.SnapshotRecords, rec.WALEntries, rec.WALSkipped, rec.WALMalformed, rec.WALTruncatedBytes)
 	}
-
+	// Arm the drain trigger before announcing readiness: a client that
+	// reads the line below may legitimately finish its work and SIGTERM us
+	// before this goroutine would otherwise have installed the handler.
 	done := make(chan struct{})
 	if *after > 0 {
 		go func() {
@@ -85,26 +131,135 @@ func main() {
 			close(done)
 		}()
 	}
+	fmt.Println("analyzer listening on", srv.Addr())
+
+	if *obsListen != "" {
+		reg := obs.NewRegistry()
+		srv.PublishStats(reg)
+		reg.PublishExpvar("vedranalyzerd")
+		ln, err := net.Listen("tcp", *obsListen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "vedranalyzerd: obs on http://%s/metrics\n", ln.Addr())
+		mux := obs.Mux(reg)
+		obs.HandleHealth(mux, nil, srv.Ready)
+		go http.Serve(ln, mux)
+	}
+
 	<-done
 
+	// Graceful drain: stop accepting, apply everything queued, flush and
+	// sync the WAL, write a final snapshot. Counts and the diagnosis below
+	// then cover every accepted message.
+	if err := srv.Drain(); err != nil {
+		fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
+	}
 	recs, reps, cfs := srv.Counts()
 	fmt.Printf("ingested: %d step records, %d reports, %d collective flows\n", recs, reps, cfs)
-	if st := srv.Stats(); st != (analyzerd.ServerStats{}) {
+	st := srv.Stats()
+	if st.Malformed != 0 || st.Oversized != 0 || st.TimedOut != 0 || st.Rejected != 0 || st.Duplicates != 0 {
 		fmt.Printf("shrugged off: %d malformed, %d oversized, %d timed out, %d rejected, %d duplicates\n",
 			st.Malformed, st.Oversized, st.TimedOut, st.Rejected, st.Duplicates)
 	}
-	diag := srv.Diagnose()
-	if err := srv.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
+	if st.Overloaded != 0 || st.RateLimited != 0 || st.AckEvictions != 0 || st.WALErrors != 0 {
+		fmt.Printf("backpressure: %d overloaded, %d rate limited, %d ack evictions, %d wal errors\n",
+			st.Overloaded, st.RateLimited, st.AckEvictions, st.WALErrors)
 	}
+	diag := srv.Diagnose()
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", " ")
 		if err := enc.Encode(wire.FromDiagnosis(diag)); err != nil {
 			fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	fmt.Print(diag.Summary())
+	return 0
+}
+
+// supervise re-runs this binary as a child daemon, restarting it with
+// exponential backoff when it dies, until it exits cleanly (0), the
+// supervisor itself is signalled (the signal is forwarded and the child's
+// verdict passed through), or too many consecutive short-lived runs
+// trip the crash-loop detector.
+func supervise(argv []string) int {
+	fs := flag.NewFlagSet("supervise", flag.ExitOnError)
+	backoff := fs.Duration("backoff", 200*time.Millisecond, "first restart delay; doubles per crash")
+	backoffMax := fs.Duration("backoff-max", 5*time.Second, "restart delay cap")
+	crashWindow := fs.Duration("crash-window", 2*time.Second,
+		"a child living shorter than this counts toward the crash loop")
+	crashLoops := fs.Int("crash-loops", 5, "give up after this many consecutive short-lived crashes")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: vedranalyzerd supervise [flags] -- <daemon flags>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(argv)
+	childArgs := fs.Args()
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vedranalyzerd: supervise:", err)
+		return 1
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	consecutive := 0
+	delay := *backoff
+	for {
+		start := time.Now()
+		cmd := exec.Command(exe, childArgs...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "vedranalyzerd: supervise:", err)
+			return 1
+		}
+		waitErr := make(chan error, 1)
+		go func() { waitErr <- cmd.Wait() }()
+		var werr error
+		select {
+		case s := <-sig:
+			// Forward the signal so the child drains gracefully, then pass
+			// its exit code through; supervision ends with the operator's
+			// intent, not a restart.
+			cmd.Process.Signal(s)
+			werr = <-waitErr
+			if werr == nil {
+				return 0
+			}
+			if ee, ok := werr.(*exec.ExitError); ok {
+				return ee.ExitCode()
+			}
+			return 1
+		case werr = <-waitErr:
+		}
+		lived := time.Since(start)
+		if werr == nil {
+			return 0 // clean exit: the daemon drained and is done
+		}
+		if lived < *crashWindow {
+			consecutive++
+			if consecutive >= *crashLoops {
+				fmt.Fprintf(os.Stderr,
+					"vedranalyzerd: supervise: crash loop: %d consecutive exits within %s; giving up\n",
+					consecutive, *crashWindow)
+				return 1
+			}
+		} else {
+			consecutive = 0
+			delay = *backoff
+		}
+		fmt.Fprintf(os.Stderr, "vedranalyzerd: supervise: child exited (%v) after %s; restarting in %s\n",
+			werr, lived.Round(time.Millisecond), delay)
+		time.Sleep(delay)
+		delay *= 2
+		if delay > *backoffMax {
+			delay = *backoffMax
+		}
+	}
 }

@@ -63,9 +63,13 @@ func main() {
 		}
 		execute(plan, *journal, *workers, *obsListen)
 	case "resume":
-		header, _, err := sweep.ReadJournal(*journal)
+		header, _, skipped, err := sweep.ReadJournal(*journal)
 		if err != nil {
 			fatal(err)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "vedrsweep: journal %s: skipped %d corrupt line(s); those jobs re-run\n",
+				*journal, skipped)
 		}
 		plan, err := experiments.PlanFromSpec(header.Spec)
 		if err != nil {
@@ -170,9 +174,12 @@ func summaryLine(reg *obs.Registry) {
 
 // status summarizes a journal without running anything.
 func status(path string) {
-	header, results, err := sweep.ReadJournal(path)
+	header, results, skippedLines, err := sweep.ReadJournal(path)
 	if err != nil {
 		fatal(err)
+	}
+	if skippedLines > 0 {
+		fmt.Fprintf(os.Stderr, "vedrsweep: journal %s: skipped %d corrupt line(s)\n", path, skippedLines)
 	}
 	plan, err := experiments.PlanFromSpec(header.Spec)
 	if err != nil {

@@ -13,6 +13,16 @@
 // limit, malformed lines are counted and skipped instead of killing the
 // connection, and sequence-numbered submissions are acknowledged so a
 // ReliableClient can reconnect and resubmit unacked records exactly once.
+//
+// The serving path is also crash-safe and overload-safe. With a
+// DurabilityConfig, every accepted message is appended to a CRC-checked
+// write-ahead log before it is acknowledged (fsync policy configurable),
+// periodic snapshots bound replay time, and a restarted daemon calls
+// Recover to reach a byte-identical Diagnose() to an uninterrupted run.
+// Accepted messages flow through a bounded ingest queue drained by a
+// single applier goroutine; when the queue is full or a client exceeds its
+// token-bucket rate the server replies with an explicit retryable NACK
+// instead of degrading for everyone.
 package analyzerd
 
 import (
@@ -24,7 +34,10 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"os"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vedrfolnir/internal/collective"
@@ -103,7 +116,32 @@ func ParseMessage(line []byte) (*Message, error) {
 	return &msg, nil
 }
 
-// ServerConfig hardens the service against misbehaving peers.
+// DurabilityConfig makes accepted messages crash-safe: a write-ahead log
+// under Dir, acknowledged only per the fsync policy, plus periodic atomic
+// snapshots that bound replay time. The zero Fsync value is FsyncAlways.
+type DurabilityConfig struct {
+	// Dir holds wal.log and snapshot.json. Created if absent. Required.
+	Dir string
+	// Fsync selects when the WAL reaches stable storage (always /
+	// interval / off); see FsyncPolicy.
+	Fsync FsyncPolicy
+	// FsyncInterval paces FsyncInterval syncs (default 100ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery writes a snapshot (and truncates the WAL) after this
+	// many applied messages. <= 0 snapshots only on Drain.
+	SnapshotEvery int
+}
+
+// RateLimit is the per-client token bucket. Rate 0 disables limiting.
+type RateLimit struct {
+	// Rate is the sustained messages/second allowed per client (keyed by
+	// Message.Client, or the peer address for unnamed submissions).
+	Rate float64
+	// Burst is the bucket depth (default: Rate rounded up, minimum 1).
+	Burst int
+}
+
+// ServerConfig hardens the service against misbehaving peers and overload.
 type ServerConfig struct {
 	// ReadTimeout bounds how long a connection may go without delivering
 	// bytes before it is dropped (a stalled client must not hold its
@@ -113,20 +151,43 @@ type ServerConfig struct {
 	// connection (counted in Stats().Oversized) instead of growing the
 	// scanner buffer without bound. <= 0 uses the default (16 MiB).
 	MaxLineBytes int
+	// MaxQueue bounds the ingest queue between connection handlers and
+	// the applier. A full queue produces an explicit retryable
+	// "overloaded" NACK instead of unbounded memory growth. <= 0 uses the
+	// default (1024).
+	MaxQueue int
+	// RateLimit throttles each client; the zero value disables it.
+	RateLimit RateLimit
+	// AckTTL evicts a disconnected client's ack window after this idle
+	// time (counted in Stats().AckEvictions), bounding the per-client
+	// dedup state. 0 uses the default (15m); < 0 never evicts.
+	AckTTL time.Duration
+	// Durability, when non-nil, write-ahead-logs and snapshots every
+	// accepted message so a restart recovers a byte-identical state.
+	Durability *DurabilityConfig
+	// Now injects the clock used for rate limiting, ack-window TTLs, and
+	// WAL fsync pacing. Nil uses the wall clock. (These are real-daemon
+	// concerns; simulation time never reaches this package.)
+	Now func() time.Time
 	// Log, when set, receives structured connection-level events
 	// (accepted peers, malformed and oversized lines, timeouts, duplicate
 	// resubmissions, rejected ingests). Nil keeps the server silent.
 	Log *slog.Logger
+
+	// testApplyGate, when set (in-package tests only), makes the applier
+	// receive from it before each apply — a deterministic way to hold the
+	// ingest queue full.
+	testApplyGate chan struct{}
 }
 
 // DefaultServerConfig returns the production hardening defaults. The read
 // timeout is generous — an idle monitor between collectives is normal —
 // but finite, and a dropped idle client just reconnects.
 func DefaultServerConfig() ServerConfig {
-	return ServerConfig{ReadTimeout: 2 * time.Minute, MaxLineBytes: 16 << 20}
+	return ServerConfig{ReadTimeout: 2 * time.Minute, MaxLineBytes: 16 << 20, MaxQueue: 1024}
 }
 
-// ServerStats counts the abuse the server shrugged off.
+// ServerStats counts the abuse and overload the server shrugged off.
 type ServerStats struct {
 	// Malformed lines were skipped (with an error reply) rather than
 	// killing the connection.
@@ -139,6 +200,38 @@ type ServerStats struct {
 	Rejected int64
 	// Duplicates are resubmitted already-acked messages (suppressed).
 	Duplicates int64
+	// Overloaded messages were NACKed because the ingest queue was full.
+	Overloaded int64
+	// RateLimited messages were NACKed by a client's token bucket.
+	RateLimited int64
+	// AckEvictions counts per-client ack windows dropped after the idle
+	// TTL expired on a disconnected client.
+	AckEvictions int64
+	// WALErrors counts messages NACKed because the write-ahead log could
+	// not make them durable.
+	WALErrors int64
+}
+
+// clientState is everything the server remembers about one submitting
+// client: the ack highwater (a cumulative sliding window over its
+// sequence space — O(1) regardless of how much it has sent), the token
+// bucket, and the idle-tracking needed to evict it after disconnect.
+type clientState struct {
+	acked    int64
+	conns    int
+	lastSeen time.Time
+	tokens   float64
+	refilled time.Time
+}
+
+// ingestItem is one accepted message queued for the applier. raw is the
+// exact protocol line (copied out of the scanner), which the WAL persists
+// so recovery re-parses the identical message.
+type ingestItem struct {
+	msg  *Message
+	raw  []byte
+	conn net.Conn
+	key  string
 }
 
 // Server accepts monitor connections and aggregates their submissions.
@@ -146,6 +239,7 @@ type Server struct {
 	ln  net.Listener
 	cfg ServerConfig
 	log *slog.Logger
+	now func() time.Time
 
 	mu      sync.Mutex
 	records []collective.StepRecord
@@ -154,14 +248,25 @@ type Server struct {
 	// stepIndex maps a collective flow to its (host, step), learned from
 	// the step records themselves.
 	stepIndex map[fabric.FlowKey]waitgraph.StepRef
-	// acked is the per-client acknowledged-sequence highwater, the
-	// resubmission dedup state.
-	acked map[string]int64
-	conns map[net.Conn]struct{}
-	stats ServerStats
+	// clients holds the per-client ack windows, token buckets, and idle
+	// state; entries for disconnected clients are evicted after AckTTL.
+	clients  map[string]*clientState
+	conns    map[net.Conn]struct{}
+	stats    ServerStats
+	draining bool
+	closed   bool
+	stopped  bool
 
-	wg     sync.WaitGroup
-	closed bool
+	// wal and sinceSnap are owned by the applier goroutine (and by
+	// stop(), which runs strictly after the applier exits).
+	wal       *wal
+	sinceSnap int
+	recovery  RecoverStats
+	snapshots atomic.Int64
+
+	queue       chan ingestItem
+	applierDone chan struct{}
+	wg          sync.WaitGroup
 }
 
 // Serve starts the analyzer on addr ("127.0.0.1:0" for an ephemeral port)
@@ -170,30 +275,117 @@ func Serve(addr string) (*Server, error) {
 	return ServeWith(addr, DefaultServerConfig())
 }
 
-// ServeWith starts the analyzer with an explicit hardening configuration.
+// ServeWith starts the analyzer with an explicit configuration. With a
+// DurabilityConfig it first recovers the snapshot and WAL under Dir, so
+// the listener only opens once the restored state is complete.
 func ServeWith(addr string, cfg ServerConfig) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("analyzerd: %w", err)
-	}
 	if cfg.MaxLineBytes <= 0 {
 		cfg.MaxLineBytes = 16 << 20
 	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 1024
+	}
+	if cfg.AckTTL == 0 {
+		cfg.AckTTL = 15 * time.Minute
+	}
 	s := &Server{
-		ln:        ln,
-		cfg:       cfg,
-		log:       cfg.Log,
-		cfs:       make(map[fabric.FlowKey]bool),
-		stepIndex: make(map[fabric.FlowKey]waitgraph.StepRef),
-		acked:     make(map[string]int64),
-		conns:     make(map[net.Conn]struct{}),
+		cfg:         cfg,
+		log:         cfg.Log,
+		now:         cfg.Now,
+		cfs:         make(map[fabric.FlowKey]bool),
+		stepIndex:   make(map[fabric.FlowKey]waitgraph.StepRef),
+		clients:     make(map[string]*clientState),
+		conns:       make(map[net.Conn]struct{}),
+		queue:       make(chan ingestItem, cfg.MaxQueue),
+		applierDone: make(chan struct{}),
 	}
 	if s.log == nil {
 		s.log = obs.NopLogger()
 	}
+	if s.now == nil {
+		//lint:ignore nosystime rate limiting, ack TTLs and fsync pacing on a real TCP daemon; wall clock never reaches simulation state
+		s.now = time.Now
+	}
+	if cfg.Durability != nil {
+		if err := s.openDurability(*cfg.Durability); err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if s.wal != nil {
+			s.wal.Close()
+		}
+		return nil, fmt.Errorf("analyzerd: %w", err)
+	}
+	s.ln = ln
+	go s.applier()
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// openDurability recovers the state under dur.Dir into memory and opens
+// the WAL for appending.
+func (s *Server) openDurability(dur DurabilityConfig) error {
+	if dur.Dir == "" {
+		return errors.New("analyzerd: DurabilityConfig.Dir is required")
+	}
+	if err := os.MkdirAll(dur.Dir, 0o755); err != nil {
+		return fmt.Errorf("analyzerd: %w", err)
+	}
+	rec, err := Recover(dur.Dir)
+	if err != nil {
+		return err
+	}
+	s.applyRecovered(rec)
+	s.recovery = rec.Stats
+	if rec.Stats.WALTruncatedBytes > 0 {
+		s.log.Warn("WAL tail truncated during recovery",
+			"bytes", rec.Stats.WALTruncatedBytes, "torn", rec.Stats.WALTornTail)
+	}
+	w, err := openWAL(dur.Dir, rec.Stats.NextLSN, dur.Fsync, dur.FsyncInterval, s.now)
+	if err != nil {
+		return err
+	}
+	s.wal = w
+	return nil
+}
+
+// applyRecovered loads a recovered snapshot + WAL tail into memory, in
+// the exact ingest order the original run used, without re-logging.
+func (s *Server) applyRecovered(rec *RecoveredState) {
+	now := s.now()
+	for _, r := range rec.Snapshot.Records {
+		recInt := r.Record()
+		s.records = append(s.records, recInt)
+		s.stepIndex[recInt.Flow] = waitgraph.StepRef{Host: recInt.Host, Step: recInt.Step}
+	}
+	for _, r := range rec.Snapshot.Reports {
+		s.reports = append(s.reports, r.Telemetry())
+	}
+	for _, f := range rec.Snapshot.CFs {
+		s.cfs[f.Key()] = true
+	}
+	for _, a := range rec.Snapshot.Acked {
+		s.clients[a.Client] = &clientState{acked: a.Seq, lastSeen: now, refilled: now}
+	}
+	for _, msg := range rec.Messages {
+		if msg.Seq > 0 && msg.Seq <= s.clientAcked(msg.Client) {
+			continue // resubmission that was logged twice across a crash
+		}
+		s.ingest(msg)
+		if msg.Seq > 0 {
+			s.markAcked(msg.Client, msg.Seq)
+		}
+	}
+}
+
+func (s *Server) clientAcked(client string) int64 {
+	if st, ok := s.clients[client]; ok {
+		return st.acked
+	}
+	return 0
 }
 
 // Addr returns the listening address.
@@ -206,6 +398,12 @@ func (s *Server) Stats() ServerStats {
 	return s.stats
 }
 
+// Recovery returns what the startup recovery rebuilt and discarded (zero
+// without a DurabilityConfig).
+func (s *Server) Recovery() RecoverStats {
+	return s.recovery
+}
+
 // Conns returns the number of live client connections.
 func (s *Server) Conns() int {
 	s.mu.Lock()
@@ -213,9 +411,24 @@ func (s *Server) Conns() int {
 	return len(s.conns)
 }
 
-// PublishStats exposes the server's abuse counters and ingest totals on
-// the registry as live gauges (each read re-snapshots the server), so a
-// /metrics or /debug/vars endpoint reports them without polling glue.
+// QueueDepth returns how many accepted messages await the applier.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Ready reports whether the server is accepting and ingesting — the
+// /readyz contract. It returns an error while draining or closed.
+func (s *Server) Ready() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return errors.New("analyzerd: draining")
+	}
+	return nil
+}
+
+// PublishStats exposes the server's abuse counters, ingest totals, queue
+// and WAL state on the registry as live gauges (each read re-snapshots
+// the server), so a /metrics or /debug/vars endpoint reports them without
+// polling glue.
 func (s *Server) PublishStats(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -230,28 +443,83 @@ func (s *Server) PublishStats(reg *obs.Registry) {
 		func() int64 { return s.Stats().Rejected })
 	reg.GaugeFunc("vedr_analyzerd_duplicates_total", "resubmitted already-acked messages suppressed",
 		func() int64 { return s.Stats().Duplicates })
+	reg.GaugeFunc("vedr_analyzerd_overloaded_total", "messages NACKed because the ingest queue was full",
+		func() int64 { return s.Stats().Overloaded })
+	reg.GaugeFunc("vedr_analyzerd_ratelimited_total", "messages NACKed by per-client token buckets",
+		func() int64 { return s.Stats().RateLimited })
+	reg.GaugeFunc("vedr_analyzerd_ack_evictions_total", "idle client ack windows evicted",
+		func() int64 { return s.Stats().AckEvictions })
+	reg.GaugeFunc("vedr_analyzerd_wal_errors_total", "messages NACKed because the WAL append failed",
+		func() int64 { return s.Stats().WALErrors })
 	reg.GaugeFunc("vedr_analyzerd_connections", "live client connections",
 		func() int64 { return int64(s.Conns()) })
+	reg.GaugeFunc("vedr_analyzerd_queue_depth", "accepted messages awaiting the applier",
+		func() int64 { return int64(s.QueueDepth()) })
+	reg.GaugeFunc("vedr_analyzerd_queue_capacity", "ingest queue bound",
+		func() int64 { return int64(cap(s.queue)) })
 	reg.GaugeFunc("vedr_analyzerd_records", "step records ingested",
 		func() int64 { r, _, _ := s.Counts(); return int64(r) })
 	reg.GaugeFunc("vedr_analyzerd_reports", "telemetry reports ingested",
 		func() int64 { _, r, _ := s.Counts(); return int64(r) })
 	reg.GaugeFunc("vedr_analyzerd_cfs", "collective flows registered",
 		func() int64 { _, _, c := s.Counts(); return int64(c) })
+	reg.GaugeFunc("vedr_analyzerd_snapshots_total", "state snapshots written",
+		func() int64 { return s.snapshots.Load() })
+	if s.wal != nil {
+		reg.GaugeFunc("vedr_analyzerd_wal_appends_total", "messages appended to the write-ahead log",
+			func() int64 { return s.wal.appends.Load() })
+		reg.GaugeFunc("vedr_analyzerd_wal_syncs_total", "WAL fsyncs issued",
+			func() int64 { return s.wal.syncs.Load() })
+		rec := s.recovery
+		reg.GaugeFunc("vedr_analyzerd_recovered_wal_entries", "WAL entries replayed at startup",
+			func() int64 { return int64(rec.WALEntries) })
+		reg.GaugeFunc("vedr_analyzerd_recovered_truncated_bytes", "torn/corrupt WAL tail bytes dropped at startup",
+			func() int64 { return rec.WALTruncatedBytes })
+		reg.GaugeFunc("vedr_analyzerd_recovered_records", "step records restored from snapshot at startup",
+			func() int64 { return int64(rec.SnapshotRecords) })
+	}
 }
 
 // Close stops accepting, severs live connections, and waits for handlers
-// to drain. A stalled client cannot block it: its connection is closed out
-// from under its handler.
-func (s *Server) Close() error {
+// and the applier to drain. A stalled client cannot block it: its
+// connection is closed out from under its handler. Queued messages are
+// still applied (and, with durability, logged) before Close returns, but
+// no final snapshot is taken — use Drain for a graceful shutdown.
+func (s *Server) Close() error { return s.stop(false) }
+
+// Drain is the graceful shutdown: stop accepting, sever connections,
+// apply everything already queued, flush and sync the WAL, write a final
+// snapshot, and release the log. After Drain a restart recovers from the
+// snapshot alone.
+func (s *Server) Drain() error { return s.stop(true) }
+
+func (s *Server) stop(persist bool) error {
 	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	s.stopped = true
 	s.closed = true
+	s.draining = true
 	for conn := range s.conns {
 		conn.Close()
 	}
 	s.mu.Unlock()
 	err := s.ln.Close()
-	s.wg.Wait()
+	s.wg.Wait()     // all handlers (the only queue senders) have exited
+	close(s.queue)  // the applier drains what's left and exits
+	<-s.applierDone //
+	if s.wal != nil {
+		if persist {
+			if serr := s.snapshotNow(); serr != nil && err == nil {
+				err = serr
+			}
+		}
+		if serr := s.wal.Close(); serr != nil && err == nil {
+			err = serr
+		}
+	}
 	return err
 }
 
@@ -302,6 +570,13 @@ func (r *deadlineReader) Read(p []byte) (int, error) {
 func (s *Server) handle(conn net.Conn) {
 	peer := conn.RemoteAddr().String()
 	s.log.Info("client connected", "peer", peer)
+	// seen tracks which client keys this connection submitted under, so
+	// the disconnect can release them for TTL eviction.
+	seen := make(map[string]bool)
+	defer func() {
+		s.releaseClients(seen)
+		s.log.Info("client disconnected", "peer", peer)
+	}()
 	var r io.Reader = conn
 	if s.cfg.ReadTimeout > 0 {
 		r = &deadlineReader{conn: conn, d: s.cfg.ReadTimeout}
@@ -324,27 +599,33 @@ func (s *Server) handle(conn net.Conn) {
 			fmt.Fprintf(conn, `{"error":%q}`+"\n", err.Error())
 			continue
 		}
+		key := msg.Client
+		if key == "" {
+			key = peer
+		}
+		if !seen[key] {
+			seen[key] = true
+			s.bindClient(key)
+		}
 		if msg.Seq > 0 && s.alreadyAcked(msg.Client, msg.Seq) {
 			s.count(func(st *ServerStats) { st.Duplicates++ })
 			s.log.Debug("duplicate suppressed", "peer", peer, "client", msg.Client, "seq", msg.Seq)
 			fmt.Fprintf(conn, `{"ack":%d}`+"\n", msg.Seq)
 			continue
 		}
-		if err := s.ingest(msg); err != nil {
-			s.count(func(st *ServerStats) { st.Rejected++ })
-			s.log.Warn("message rejected", "peer", peer, "err", err.Error())
-			if msg.Seq > 0 {
-				// A nak tells the client to drop the message rather than
-				// resubmit it forever.
-				fmt.Fprintf(conn, `{"nak":%d,"error":%q}`+"\n", msg.Seq, err.Error())
-			} else {
-				fmt.Fprintf(conn, `{"error":%q}`+"\n", err.Error())
-			}
+		if !s.admit(key) {
+			s.count(func(st *ServerStats) { st.RateLimited++ })
+			s.log.Warn("rate limited", "peer", peer, "client", key)
+			s.nackRetry(conn, msg.Seq, "rate limited")
 			continue
 		}
-		if msg.Seq > 0 {
-			s.markAcked(msg.Client, msg.Seq)
-			fmt.Fprintf(conn, `{"ack":%d}`+"\n", msg.Seq)
+		item := ingestItem{msg: msg, raw: append([]byte(nil), line...), conn: conn, key: key}
+		select {
+		case s.queue <- item:
+		default:
+			s.count(func(st *ServerStats) { st.Overloaded++ })
+			s.log.Warn("ingest queue full", "peer", peer, "depth", len(s.queue))
+			s.nackRetry(conn, msg.Seq, "overloaded")
 		}
 	}
 	switch err := sc.Err(); {
@@ -361,7 +642,171 @@ func (s *Server) handle(conn net.Conn) {
 			s.log.Warn("connection timed out", "peer", peer)
 		}
 	}
-	s.log.Info("client disconnected", "peer", peer)
+}
+
+// nackRetry tells the client to back off and resubmit: the message was
+// not accepted, but only because of transient pressure.
+func (s *Server) nackRetry(conn net.Conn, seq int64, reason string) {
+	if seq > 0 {
+		fmt.Fprintf(conn, `{"nak":%d,"error":%q,"retry":true}`+"\n", seq, reason)
+	} else {
+		fmt.Fprintf(conn, `{"error":%q,"retry":true}`+"\n", reason)
+	}
+}
+
+// applier is the single goroutine that owns the WAL and the apply order:
+// every accepted message becomes durable (per the fsync policy), then
+// visible to Diagnose, then acknowledged — in exactly the order messages
+// entered the queue, which is the order recovery replays.
+func (s *Server) applier() {
+	defer close(s.applierDone)
+	for item := range s.queue {
+		if s.cfg.testApplyGate != nil {
+			<-s.cfg.testApplyGate
+		}
+		s.apply(item)
+	}
+}
+
+func (s *Server) apply(item ingestItem) {
+	msg := item.msg
+	if msg.Seq > 0 {
+		s.mu.Lock()
+		acked := s.clientAcked(msg.Client)
+		s.mu.Unlock()
+		if msg.Seq <= acked {
+			// A resubmission raced its original through the queue.
+			s.count(func(st *ServerStats) { st.Duplicates++ })
+			fmt.Fprintf(item.conn, `{"ack":%d}`+"\n", msg.Seq)
+			return
+		}
+		if msg.Seq != acked+1 {
+			// An earlier message from this client was NACKed (overload,
+			// rate limit) after this one was already queued. Accepting it
+			// would advance the cumulative ack highwater past that hole
+			// and the resubmission would be wrongly suppressed as a
+			// duplicate — so the whole tail is bounced for resubmission.
+			s.count(func(st *ServerStats) { st.Overloaded++ })
+			s.nackRetry(item.conn, msg.Seq, "out of order")
+			return
+		}
+	}
+	if s.wal != nil {
+		if _, err := s.wal.Append(item.raw); err != nil {
+			s.count(func(st *ServerStats) { st.WALErrors++ })
+			s.log.Warn("WAL append failed", "err", err.Error())
+			s.nackRetry(item.conn, msg.Seq, "wal append failed")
+			return
+		}
+	}
+	if err := s.ingestLocked(msg); err != nil {
+		s.count(func(st *ServerStats) { st.Rejected++ })
+		s.log.Warn("message rejected", "err", err.Error())
+		if msg.Seq > 0 {
+			// A permanent rejection still advances the highwater — the
+			// message is handled (dropped), and leaving a hole would wedge
+			// the client's stream on the contiguity check forever. The nak
+			// tells the client to drop it rather than resubmit.
+			s.mu.Lock()
+			s.markAcked(msg.Client, msg.Seq)
+			s.mu.Unlock()
+			fmt.Fprintf(item.conn, `{"nak":%d,"error":%q}`+"\n", msg.Seq, err.Error())
+		} else {
+			fmt.Fprintf(item.conn, `{"error":%q}`+"\n", err.Error())
+		}
+		return
+	}
+	if msg.Seq > 0 {
+		s.mu.Lock()
+		s.markAcked(msg.Client, msg.Seq)
+		s.mu.Unlock()
+		fmt.Fprintf(item.conn, `{"ack":%d}`+"\n", msg.Seq)
+	}
+	s.maybeSnapshot()
+}
+
+// maybeSnapshot writes a snapshot and truncates the WAL once enough
+// messages accumulated since the last one. Applier-only.
+func (s *Server) maybeSnapshot() {
+	if s.wal == nil || s.cfg.Durability.SnapshotEvery <= 0 {
+		return
+	}
+	s.sinceSnap++
+	if s.sinceSnap < s.cfg.Durability.SnapshotEvery {
+		return
+	}
+	if err := s.snapshotNow(); err != nil {
+		s.log.Warn("snapshot failed", "err", err.Error())
+		return
+	}
+	s.sinceSnap = 0
+}
+
+// snapshotNow captures the full in-memory state as wire DTOs, writes it
+// atomically, and truncates the now-redundant WAL. Applier-only (or
+// post-applier, from stop).
+func (s *Server) snapshotNow() error {
+	snap := s.buildSnapshot()
+	if err := writeSnapshot(s.cfg.Durability.Dir, snap); err != nil {
+		return err
+	}
+	s.snapshots.Add(1)
+	if err := s.wal.Reset(); err != nil {
+		return err
+	}
+	s.log.Info("snapshot written", "records", len(snap.Records),
+		"reports", len(snap.Reports), "cfs", len(snap.CFs), "next_lsn", snap.NextLSN)
+	return nil
+}
+
+// buildSnapshot serializes the ingest state deterministically: records
+// and reports in ingest order (the order that defines the flow→step
+// index), flow and ack sets sorted.
+func (s *Server) buildSnapshot() wire.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := wire.Snapshot{Format: wire.SnapshotFormat, NextLSN: s.wal.nextLSN}
+	for _, r := range s.records {
+		snap.Records = append(snap.Records, wire.FromStepRecord(r))
+	}
+	for _, r := range s.reports {
+		snap.Reports = append(snap.Reports, wire.FromReport(r))
+	}
+	keys := make([]fabric.FlowKey, 0, len(s.cfs))
+	for k := range s.cfs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return flowKeyLess(keys[i], keys[j]) })
+	for _, k := range keys {
+		snap.CFs = append(snap.CFs, wire.FromFlow(k))
+	}
+	ids := make([]string, 0, len(s.clients))
+	for id := range s.clients {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if st := s.clients[id]; st.acked > 0 {
+			snap.Acked = append(snap.Acked, wire.ClientAck{Client: id, Seq: st.acked})
+		}
+	}
+	return snap
+}
+
+func flowKeyLess(a, b fabric.FlowKey) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
 }
 
 func (s *Server) count(f func(*ServerStats)) {
@@ -373,22 +818,122 @@ func (s *Server) count(f func(*ServerStats)) {
 func (s *Server) alreadyAcked(client string, seq int64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return seq <= s.acked[client]
+	return seq <= s.clientAcked(client)
 }
 
+// markAcked advances a client's ack highwater. Callers hold s.mu.
 func (s *Server) markAcked(client string, seq int64) {
-	s.mu.Lock()
-	if seq > s.acked[client] {
-		s.acked[client] = seq
+	st := s.clients[client]
+	if st == nil {
+		now := s.now()
+		st = &clientState{lastSeen: now, refilled: now}
+		s.clients[client] = st
 	}
-	s.mu.Unlock()
+	if seq > st.acked {
+		st.acked = seq
+	}
+	st.lastSeen = s.now()
+}
+
+// bindClient pins a client's state for the lifetime of a connection that
+// submits under it, so it cannot be evicted mid-conversation.
+func (s *Server) bindClient(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	st := s.clients[key]
+	if st == nil {
+		st = &clientState{lastSeen: now, refilled: now}
+		if s.cfg.RateLimit.Rate > 0 {
+			st.tokens = float64(s.burst())
+		}
+		s.clients[key] = st
+	}
+	st.conns++
+	st.lastSeen = now
+}
+
+// releaseClients unpins a closing connection's clients and evicts any
+// client that has been disconnected past the ack TTL.
+func (s *Server) releaseClients(seen map[string]bool) {
+	if len(seen) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	for key := range seen {
+		if st := s.clients[key]; st != nil {
+			st.conns--
+			st.lastSeen = now
+		}
+	}
+	s.evictIdle(now)
+}
+
+// evictIdle drops ack windows for clients with no live connection that
+// have been idle past AckTTL. Callers hold s.mu.
+func (s *Server) evictIdle(now time.Time) {
+	if s.cfg.AckTTL < 0 {
+		return
+	}
+	for id, st := range s.clients {
+		if st.conns <= 0 && now.Sub(st.lastSeen) > s.cfg.AckTTL {
+			delete(s.clients, id)
+			s.stats.AckEvictions++
+		}
+	}
+}
+
+func (s *Server) burst() int {
+	b := s.cfg.RateLimit.Burst
+	if b <= 0 {
+		b = int(s.cfg.RateLimit.Rate + 0.999)
+		if b < 1 {
+			b = 1
+		}
+	}
+	return b
+}
+
+// admit charges one token from the client's bucket; false means the
+// client is over its rate and must back off.
+func (s *Server) admit(key string) bool {
+	if s.cfg.RateLimit.Rate <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	st := s.clients[key]
+	if st == nil {
+		st = &clientState{lastSeen: now, refilled: now, tokens: float64(s.burst())}
+		s.clients[key] = st
+	}
+	burst := float64(s.burst())
+	st.tokens += s.cfg.RateLimit.Rate * now.Sub(st.refilled).Seconds()
+	if st.tokens > burst {
+		st.tokens = burst
+	}
+	st.refilled = now
+	if st.tokens < 1 {
+		return false
+	}
+	st.tokens--
+	return true
+}
+
+// ingestLocked stores one validated message under the state lock.
+func (s *Server) ingestLocked(msg *Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ingest(msg)
 }
 
 // ingest stores one validated message. Validation lives in ParseMessage;
 // by the time a message reaches here its payload is present and singular.
+// Callers hold s.mu (or own the state exclusively, as recovery does).
 func (s *Server) ingest(msg *Message) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch msg.Type {
 	case TypeStep:
 		if msg.Step == nil {

@@ -68,7 +68,7 @@ func FuzzParseMessage(f *testing.F) {
 		s := &Server{
 			cfs:       make(map[fabric.FlowKey]bool),
 			stepIndex: make(map[fabric.FlowKey]waitgraph.StepRef),
-			acked:     make(map[string]int64),
+			clients:   make(map[string]*clientState),
 		}
 		if err := s.ingest(msg); err != nil {
 			t.Fatalf("validated message rejected by ingest: %v", err)

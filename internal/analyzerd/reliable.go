@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -31,7 +32,17 @@ type ClientConfig struct {
 	// Sleep waits between reconnect attempts; tests inject a no-op to
 	// avoid real delays. Nil uses time.Sleep.
 	Sleep func(time.Duration)
+	// MaxPending bounds the unacknowledged buffer: Send* returns
+	// ErrQueueFull once this many messages await an ack, instead of
+	// growing without bound while the analyzer is down. 0 uses the
+	// default (4096); < 0 removes the bound.
+	MaxPending int
 }
+
+// ErrQueueFull is returned by the Send methods when the unacknowledged
+// buffer has reached ClientConfig.MaxPending. The caller should Flush (or
+// shed load) before buffering more.
+var ErrQueueFull = errors.New("analyzerd: client pending buffer full")
 
 // ClientStats counts the reliability machinery's work.
 type ClientStats struct {
@@ -43,6 +54,10 @@ type ClientStats struct {
 	// Rejected counts messages the server nak'd; they are dropped rather
 	// than resubmitted forever.
 	Rejected int
+	// Backpressure counts retryable naks (overloaded / rate limited /
+	// out of order); the nacked messages stay pending and are resubmitted
+	// after backoff.
+	Backpressure int
 }
 
 type pendingMsg struct {
@@ -93,6 +108,9 @@ func NewReliableClient(addr string, cfg ClientConfig) (*ReliableClient, error) {
 		//lint:ignore nosystime reconnect backoff on a real network client; never runs inside the simulator
 		cfg.Sleep = time.Sleep
 	}
+	if cfg.MaxPending == 0 {
+		cfg.MaxPending = 4096
+	}
 	return &ReliableClient{addr: addr, cfg: cfg}, nil
 }
 
@@ -100,6 +118,9 @@ func NewReliableClient(addr string, cfg ClientConfig) (*ReliableClient, error) {
 func (rc *ReliableClient) Pending() int { return len(rc.pending) }
 
 func (rc *ReliableClient) enqueue(msg Message) error {
+	if rc.cfg.MaxPending > 0 && len(rc.pending) >= rc.cfg.MaxPending {
+		return fmt.Errorf("%w (%d unacked)", ErrQueueFull, len(rc.pending))
+	}
 	rc.seq++
 	msg.Seq = rc.seq
 	msg.Client = rc.cfg.ID
@@ -178,8 +199,9 @@ func (rc *ReliableClient) attempt(isRetry bool) error {
 	for _, p := range rc.pending {
 		buf.Write(p.line)
 	}
+	written := len(rc.pending)
 	if isRetry {
-		rc.Stats.Resubmitted += len(rc.pending)
+		rc.Stats.Resubmitted += written
 	}
 	if _, err := rc.conn.Write(buf.Bytes()); err != nil {
 		return err
@@ -188,8 +210,14 @@ func (rc *ReliableClient) attempt(isRetry bool) error {
 		Ack   int64  `json:"ack"`
 		Nak   int64  `json:"nak"`
 		Error string `json:"error"`
+		Retry bool   `json:"retry"`
 	}
-	for len(rc.pending) > 0 {
+	// The server replies exactly once per submitted line (in order), so
+	// read one reply per written message — a retryable nak leaves its
+	// message pending, and the server's contiguity check guarantees no
+	// later ack can leapfrog it.
+	busy := 0
+	for i := 0; i < written && len(rc.pending) > 0; i++ {
 		//lint:ignore nosystime ack-read deadline on a real TCP connection; wall clock never reaches simulation state
 		if err := rc.conn.SetReadDeadline(time.Now().Add(rc.cfg.AckTimeout)); err != nil {
 			return err
@@ -205,6 +233,12 @@ func (rc *ReliableClient) attempt(isRetry bool) error {
 		switch {
 		case rep.Ack > 0:
 			rc.dropThrough(rep.Ack, false)
+		case rep.Retry:
+			// Transient pressure (overloaded / rate limited / out of
+			// order): the message stays pending for resubmission after
+			// backoff.
+			busy++
+			rc.Stats.Backpressure++
 		case rep.Nak > 0:
 			rc.dropThrough(rep.Nak, true)
 		default:
@@ -214,6 +248,10 @@ func (rc *ReliableClient) attempt(isRetry bool) error {
 			rc.Stats.Rejected++
 			rc.pending = rc.pending[1:]
 		}
+	}
+	if len(rc.pending) > 0 {
+		return fmt.Errorf("server backpressure: %d retryable naks, %d still pending",
+			busy, len(rc.pending))
 	}
 	return nil
 }

@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// WALFaults draws the storage-level fault coordinates the crash-recovery
+// harness injects into the analyzer daemon's write-ahead log: where to
+// SIGKILL a run mid-ingest, where to shear a log file, and which bit to
+// flip to simulate media corruption. Like every chaos source it is a pure
+// function of its seed — the same seed replays the same crash schedule,
+// so a recovery failure reproduces exactly.
+type WALFaults struct {
+	rng *rand.Rand
+}
+
+// walSeedMix decorrelates the WAL fault stream from other consumers of the
+// same case seed (same constant family as the kernel's seed mixing).
+const walSeedMix = 0x1E3779B97F4A7C15
+
+// NewWALFaults builds a deterministic fault source for one seed.
+func NewWALFaults(seed int64) *WALFaults {
+	return &WALFaults{rng: rand.New(rand.NewSource(seed ^ walSeedMix))}
+}
+
+// CutPoint picks the byte offset at which to shear a file of the given
+// size — the stand-in for a crash that tore a partially-written tail. The
+// draw is uniform over [0, size): cutting at header boundaries, inside a
+// length prefix, and mid-payload are all reachable.
+func (w *WALFaults) CutPoint(size int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return w.rng.Int63n(size)
+}
+
+// FlipBit picks a corruption coordinate in a file of the given size: the
+// byte offset and the bit (0-7) to invert. It models in-place media
+// corruption rather than a torn write, so recovery's CRC check — not the
+// length framing — has to catch it.
+func (w *WALFaults) FlipBit(size int64) (offset int64, bit uint) {
+	if size <= 0 {
+		return 0, 0
+	}
+	return w.rng.Int63n(size), uint(w.rng.Intn(8))
+}
+
+// CrashPoints draws n distinct message indices in [1, msgs] at which the
+// harness SIGKILLs the daemon mid-ingest, sorted ascending so a run can
+// consume them as it counts acknowledged messages. Fewer than n points
+// come back when msgs is too small to supply distinct ones.
+func (w *WALFaults) CrashPoints(n, msgs int) []int {
+	if n <= 0 || msgs <= 0 {
+		return nil
+	}
+	if n > msgs {
+		n = msgs
+	}
+	seen := make(map[int]bool, n)
+	points := make([]int, 0, n)
+	for len(points) < n {
+		p := w.rng.Intn(msgs) + 1
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		points = append(points, p)
+	}
+	sort.Ints(points)
+	return points
+}

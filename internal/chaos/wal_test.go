@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWALFaultsDeterministic(t *testing.T) {
+	a, b := NewWALFaults(7), NewWALFaults(7)
+	for i := 0; i < 50; i++ {
+		if ca, cb := a.CutPoint(1000), b.CutPoint(1000); ca != cb {
+			t.Fatalf("draw %d: cut points diverge: %d vs %d", i, ca, cb)
+		}
+	}
+	offA, bitA := a.FlipBit(512)
+	offB, bitB := b.FlipBit(512)
+	if offA != offB || bitA != bitB {
+		t.Fatalf("flip coordinates diverge: (%d,%d) vs (%d,%d)", offA, bitA, offB, bitB)
+	}
+	pa, pb := a.CrashPoints(5, 100), b.CrashPoints(5, 100)
+	if !reflect.DeepEqual(pa, pb) {
+		t.Fatalf("crash points diverge: %v vs %v", pa, pb)
+	}
+	if pc := NewWALFaults(8).CrashPoints(5, 100); reflect.DeepEqual(pa, pc) {
+		t.Fatalf("different seeds drew identical crash points: %v", pa)
+	}
+}
+
+func TestWALFaultsBounds(t *testing.T) {
+	w := NewWALFaults(3)
+	for i := 0; i < 100; i++ {
+		if c := w.CutPoint(64); c < 0 || c >= 64 {
+			t.Fatalf("cut point %d out of [0,64)", c)
+		}
+		off, bit := w.FlipBit(64)
+		if off < 0 || off >= 64 || bit > 7 {
+			t.Fatalf("flip (%d,%d) out of range", off, bit)
+		}
+	}
+	if c := w.CutPoint(0); c != 0 {
+		t.Fatalf("cut of empty file = %d, want 0", c)
+	}
+	points := w.CrashPoints(10, 4)
+	if len(points) != 4 {
+		t.Fatalf("asked for 10 points over 4 messages, got %d", len(points))
+	}
+	last := 0
+	for _, p := range points {
+		if p < 1 || p > 4 {
+			t.Fatalf("crash point %d out of [1,4]", p)
+		}
+		if p <= last {
+			t.Fatalf("crash points not strictly ascending: %v", points)
+		}
+		last = p
+	}
+	if w.CrashPoints(0, 10) != nil || w.CrashPoints(3, 0) != nil {
+		t.Fatal("degenerate crash point requests must return nil")
+	}
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+)
+
+// HandleHealth mounts the two standard probe endpoints on mux:
+//
+//   - /healthz — liveness. healthz nil means "alive whenever the process
+//     answers"; otherwise a non-nil error renders 503.
+//   - /readyz — readiness. readyz reports whether the daemon should
+//     receive traffic (e.g. an analyzer that is draining returns an
+//     error and flips to 503 so supervisors stop routing to it).
+//
+// Both endpoints answer 200 with "ok\n" when healthy and 503 with the
+// error text when not, matching what kubelet-style probes and the
+// supervise loop expect.
+func HandleHealth(mux *http.ServeMux, healthz, readyz func() error) {
+	mux.Handle("/healthz", probeHandler(healthz))
+	mux.Handle("/readyz", probeHandler(readyz))
+}
+
+func probeHandler(check func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if check != nil {
+			if err := check(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				io.WriteString(w, err.Error()+"\n")
+				return
+			}
+		}
+		io.WriteString(w, "ok\n")
+	})
+}

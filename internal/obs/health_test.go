@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHandleHealth(t *testing.T) {
+	mux := http.NewServeMux()
+	var notReady error
+	HandleHealth(mux, nil, func() error { return notReady })
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/readyz = %d %q, want 200 ok", code, body)
+	}
+
+	notReady = errors.New("draining")
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Fatalf("/readyz while draining = %d %q, want 503 draining", code, body)
+	}
+	// Liveness is independent of readiness.
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d while draining, want 200", code)
+	}
+}

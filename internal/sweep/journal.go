@@ -22,11 +22,12 @@ const journalFormat = 1
 // journals of the same sweep are byte-identical no matter how many times
 // they were interrupted or how many workers ran them.
 type Journal struct {
-	path   string
-	f      *os.File
-	header wire.SweepHeader
-	have   map[string]Result
-	failed map[string]bool
+	path    string
+	f       *os.File
+	header  wire.SweepHeader
+	have    map[string]Result
+	failed  map[string]bool
+	skipped int
 }
 
 // OpenJournal opens or creates the journal at path for the sweep described
@@ -40,10 +41,11 @@ func OpenJournal(path string, spec wire.SweepSpec) (*Journal, error) {
 		failed: map[string]bool{},
 	}
 	if _, err := os.Stat(path); err == nil {
-		header, results, err := ReadJournal(path)
+		header, results, skipped, err := ReadJournal(path)
 		if err != nil {
 			return nil, err
 		}
+		j.skipped = skipped
 		if header.Spec != spec {
 			return nil, fmt.Errorf("sweep: journal %s belongs to sweep %+v, not %+v",
 				path, header.Spec, spec)
@@ -81,6 +83,11 @@ func OpenJournal(path string, spec wire.SweepSpec) (*Journal, error) {
 
 // Spec returns the sweep spec the journal was opened with.
 func (j *Journal) Spec() wire.SweepSpec { return j.header.Spec }
+
+// Skipped returns how many corrupt journal lines the open discarded —
+// typically the torn final line of a killed run. The jobs they would have
+// resumed simply re-run.
+func (j *Journal) Skipped() int { return j.skipped }
 
 // Have returns the journaled result for key, if the job completed
 // successfully in a previous run. Failed jobs are not "had": a resumed
@@ -133,6 +140,14 @@ func (j *Journal) Compact(results []Result) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: %w", err)
 	}
+	// fsync before the rename: the compacted journal must be on stable
+	// storage before it replaces the append log, or a crash could leave a
+	// renamed-but-empty canonical file.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: %w", err)
@@ -163,44 +178,45 @@ func (j *Journal) Close() error {
 
 // ReadJournal parses a journal file: the header plus every record, in file
 // order. Records for the same key may repeat (an interrupted sweep re-ran
-// a failed job); later lines supersede earlier ones.
-func ReadJournal(path string) (wire.SweepHeader, []Result, error) {
+// a failed job); later lines supersede earlier ones. A record line that no
+// longer parses — typically the torn final line of a killed run — is
+// skipped and counted in skipped rather than refusing the whole journal:
+// losing one checkpoint line must cost one re-run, not the resume. Only a
+// missing, empty, or corrupt-header journal is an error.
+func ReadJournal(path string) (header wire.SweepHeader, results []Result, skipped int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return wire.SweepHeader{}, nil, fmt.Errorf("sweep: %w", err)
+		return wire.SweepHeader{}, nil, 0, fmt.Errorf("sweep: %w", err)
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
-			return wire.SweepHeader{}, nil, fmt.Errorf("sweep: %w", err)
+			return wire.SweepHeader{}, nil, 0, fmt.Errorf("sweep: %w", err)
 		}
-		return wire.SweepHeader{}, nil, fmt.Errorf("sweep: journal %s is empty", path)
+		return wire.SweepHeader{}, nil, 0, fmt.Errorf("sweep: journal %s is empty", path)
 	}
-	var header wire.SweepHeader
 	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
-		return wire.SweepHeader{}, nil, fmt.Errorf("sweep: journal %s header: %w", path, err)
+		return wire.SweepHeader{}, nil, 0, fmt.Errorf("sweep: journal %s header: %w", path, err)
 	}
 	if header.Format != journalFormat {
-		return wire.SweepHeader{}, nil, fmt.Errorf("sweep: journal %s has format %d, want %d",
+		return wire.SweepHeader{}, nil, 0, fmt.Errorf("sweep: journal %s has format %d, want %d",
 			path, header.Format, journalFormat)
 	}
-	var results []Result
-	line := 1
 	for sc.Scan() {
-		line++
 		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
 			continue
 		}
 		var rec wire.SweepRecord
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return wire.SweepHeader{}, nil, fmt.Errorf("sweep: journal %s line %d: %w", path, line, err)
+			skipped++
+			continue
 		}
 		results = append(results, resultFromWire(rec))
 	}
 	if err := sc.Err(); err != nil {
-		return wire.SweepHeader{}, nil, fmt.Errorf("sweep: %w", err)
+		return wire.SweepHeader{}, nil, 0, fmt.Errorf("sweep: %w", err)
 	}
-	return header, results, nil
+	return header, results, skipped, nil
 }

@@ -238,7 +238,7 @@ func TestSweepErrorCapture(t *testing.T) {
 	if got := attempt[1]; got != 2 {
 		t.Fatalf("failing job ran %d times, want 2", got)
 	}
-	_, results, err := ReadJournal(path)
+	_, results, _, err := ReadJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}

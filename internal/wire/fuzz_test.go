@@ -57,6 +57,50 @@ func FuzzStepRecordRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzSnapshotRoundTrip: an arbitrary JSON analyzer snapshot must survive
+// an unmarshal → normalize (sort the flow and ack sets) → marshal cycle
+// stably: the second pass is the identity. Recovery equality depends on
+// this — a snapshot written, read back, and written again must be
+// byte-identical.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"format":1,"next_lsn":7,"records":[{"host":3,"step":1,"flow":{"src":3,"dst":4,"sport":1,"dport":2,"proto":17},"bytes":1048576,"start_ns":100,"end_ns":900}],"cfs":[{"src":9,"dst":1},{"src":2,"dst":3,"proto":6}],"acked":[{"client":"h2","seq":41},{"client":"h1","seq":9}]}`))
+	f.Add([]byte(`{"format":1,"reports":[{"at_ns":5,"triggered_by":{"src":1,"dst":2},"hops_polled":3}]}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var snap Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return
+		}
+		// First pass normalizes the set-valued fields; records and reports
+		// keep ingest order by design.
+		SortFlows(snap.CFs)
+		SortClientAcks(snap.Acked)
+		for i, r := range snap.Reports {
+			snap.Reports[i] = FromReport(r.Telemetry())
+		}
+		a, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var snap2 Snapshot
+		if err := json.Unmarshal(a, &snap2); err != nil {
+			t.Fatalf("re-unmarshal of own output: %v", err)
+		}
+		SortFlows(snap2.CFs)
+		SortClientAcks(snap2.Acked)
+		for i, r := range snap2.Reports {
+			snap2.Reports[i] = FromReport(r.Telemetry())
+		}
+		b, err := json.Marshal(snap2)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("snapshot round trip not stable:\n%s\nvs\n%s", a, b)
+		}
+	})
+}
+
 // FuzzSweepRecordRoundTrip: journal records (including the chaos-grid
 // fields) survive resultFromWire-style JSON cycles stably.
 func FuzzSweepRecordRoundTrip(f *testing.F) {

@@ -1,0 +1,37 @@
+package wire
+
+// ClientAck is one client's acknowledged-sequence highwater — the dedup
+// state that lets a restarted analyzer suppress resubmissions of messages
+// it had already made durable before the crash.
+type ClientAck struct {
+	Client string `json:"client"`
+	Seq    int64  `json:"seq"`
+}
+
+// SnapshotFormat is the supported snapshot format version.
+const SnapshotFormat = 1
+
+// Snapshot is the JSON form of the analyzer daemon's complete ingest
+// state: every step record, telemetry report, and collective-flow
+// registration in ingest order, plus the per-client ack windows. A
+// snapshot plus the write-ahead-log entries at or after NextLSN
+// reconstructs a byte-identical Diagnose() — the records slice preserves
+// arrival order because the analyzer's flow→step index is last-write-wins
+// over that order.
+type Snapshot struct {
+	Format  int          `json:"format"`
+	NextLSN uint64       `json:"next_lsn"`
+	Records []StepRecord `json:"records,omitempty"`
+	Reports []Report     `json:"reports,omitempty"`
+	CFs     []Flow       `json:"cfs,omitempty"`
+	Acked   []ClientAck  `json:"acked,omitempty"`
+}
+
+// SortFlows sorts flows in canonical (src, dst, sport, dport, proto)
+// order, for deterministic serialization of flow sets.
+func SortFlows(s []Flow) { sortSlice(s, flowLess) }
+
+// SortClientAcks sorts ack windows by client ID.
+func SortClientAcks(s []ClientAck) {
+	sortSlice(s, func(a, b ClientAck) bool { return a.Client < b.Client })
+}

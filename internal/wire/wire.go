@@ -398,7 +398,10 @@ func flowLess(a, b Flow) bool {
 	if a.SrcPort != b.SrcPort {
 		return a.SrcPort < b.SrcPort
 	}
-	return a.DstPort < b.DstPort
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
 }
 
 // sortSlice is a tiny insertion sort to keep DTO output deterministic

@@ -99,8 +99,9 @@ func waitConns(t *testing.T, srv *Server, n int) {
 }
 
 // TestOutOfOrderSeqNacked: the applier's contiguity check — a sequence
-// gap (created when an earlier message was load-shed) must bounce as a
-// retryable nak, never advance the cumulative highwater past the hole.
+// gap above a live highwater (created when an earlier message was
+// load-shed) must bounce as a retryable nak, never advance the cumulative
+// highwater past the hole.
 func TestOutOfOrderSeqNacked(t *testing.T) {
 	srv, err := Serve("127.0.0.1:0")
 	if err != nil {
@@ -114,16 +115,20 @@ func TestOutOfOrderSeqNacked(t *testing.T) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
 
-	sendLine(t, conn, `{"type":"cf","cf":{"src":1,"dst":2},"seq":2,"client":"h1"}`)
-	reps := readReplies(t, br, conn, 1)
-	if reps[0].Nak != 2 || !reps[0].Retry {
-		t.Fatalf("gap reply %+v, want retryable nak 2", reps[0])
+	sendLine(t, conn, `{"type":"cf","cf":{"src":1,"dst":2},"seq":1,"client":"h1"}`)
+	if rep := readReplies(t, br, conn, 1)[0]; rep.Ack != 1 {
+		t.Fatalf("first message reply %+v, want ack 1", rep)
 	}
-	if _, _, cfs := srv.Counts(); cfs != 0 {
+	sendLine(t, conn, `{"type":"cf","cf":{"src":1,"dst":3},"seq":3,"client":"h1"}`)
+	reps := readReplies(t, br, conn, 1)
+	if reps[0].Nak != 3 || !reps[0].Retry {
+		t.Fatalf("gap reply %+v, want retryable nak 3", reps[0])
+	}
+	if _, _, cfs := srv.Counts(); cfs != 1 {
 		t.Fatal("gapped message was ingested")
 	}
-	sendLine(t, conn, `{"type":"cf","cf":{"src":1,"dst":2},"seq":1,"client":"h1"}`)
-	sendLine(t, conn, `{"type":"cf","cf":{"src":1,"dst":3},"seq":2,"client":"h1"}`)
+	sendLine(t, conn, `{"type":"cf","cf":{"src":1,"dst":4},"seq":2,"client":"h1"}`)
+	sendLine(t, conn, `{"type":"cf","cf":{"src":1,"dst":3},"seq":3,"client":"h1"}`)
 	acked := map[int64]bool{}
 	for _, rep := range readReplies(t, br, conn, 2) {
 		if rep.Ack == 0 {
@@ -131,11 +136,78 @@ func TestOutOfOrderSeqNacked(t *testing.T) {
 		}
 		acked[rep.Ack] = true
 	}
-	if !acked[1] || !acked[2] {
-		t.Fatalf("acks %v, want 1 and 2", acked)
+	if !acked[2] || !acked[3] {
+		t.Fatalf("acks %v, want 2 and 3", acked)
 	}
 	if ov := srv.Stats().Overloaded; ov != 1 {
 		t.Fatalf("Overloaded = %d, want 1 (the gap nak)", ov)
+	}
+}
+
+// TestSeqBaselineForFreshClient: a client the server has no state for —
+// first contact, an ack window evicted by AckTTL, or state lost to a
+// non-durable restart — resumes mid-sequence, because its counter is
+// process-lifetime monotonic. The applier must accept the first seen seq
+// as the new baseline instead of demanding seq 1 forever (the wedge: every
+// resubmission NACKed "out of order", the client stuck in backoff until
+// its pending buffer overflows).
+func TestSeqBaselineForFreshClient(t *testing.T) {
+	clock := newFakeClock()
+	cfg := DefaultServerConfig()
+	cfg.AckTTL = time.Minute
+	cfg.Now = clock.Now
+	srv, err := ServeWith("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A brand-new client starting above seq 1 (it lived through a server
+	// restart that lost the ack windows) baselines immediately.
+	conn1, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendLine(t, conn1, `{"type":"cf","cf":{"src":1,"dst":2},"seq":41,"client":"h1"}`)
+	expectReply(t, conn1, `{"ack":41}`)
+	sendLine(t, conn1, `{"type":"cf","cf":{"src":1,"dst":3},"seq":42,"client":"h1"}`)
+	expectReply(t, conn1, `{"ack":42}`)
+	conn1.Close()
+	waitConns(t, srv, 0)
+
+	// Evict h1's window: idle past the TTL, swept by another client's
+	// disconnect.
+	clock.Advance(2 * time.Minute)
+	conn2, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendLine(t, conn2, `{"type":"cf","cf":{"src":2,"dst":3},"seq":1,"client":"h2"}`)
+	expectReply(t, conn2, `{"ack":1}`)
+	conn2.Close()
+	waitConns(t, srv, 0)
+	if ev := srv.Stats().AckEvictions; ev != 1 {
+		t.Fatalf("AckEvictions = %d, want 1 (h1 idle past TTL)", ev)
+	}
+
+	// h1 returns with its counter further along: the evicted window must
+	// re-baseline at the first seen seq, and contiguity resumes from there.
+	conn3, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn3.Close()
+	sendLine(t, conn3, `{"type":"cf","cf":{"src":1,"dst":4},"seq":57,"client":"h1"}`)
+	expectReply(t, conn3, `{"ack":57}`)
+	sendLine(t, conn3, `{"type":"cf","cf":{"src":1,"dst":5},"seq":58,"client":"h1"}`)
+	expectReply(t, conn3, `{"ack":58}`)
+	sendLine(t, conn3, `{"type":"cf","cf":{"src":1,"dst":6},"seq":60,"client":"h1"}`)
+	br := bufio.NewReader(conn3)
+	if rep := readReplies(t, br, conn3, 1)[0]; rep.Nak != 60 || !rep.Retry {
+		t.Fatalf("gap above rebuilt highwater: %+v, want retryable nak 60", rep)
+	}
+	if _, _, cfs := srv.Counts(); cfs != 5 {
+		t.Fatalf("ingested %d cfs, want 5", cfs)
 	}
 }
 
@@ -315,6 +387,56 @@ func TestOverloadBackpressureRetry(t *testing.T) {
 	}
 	if _, _, cfs := srv.Counts(); cfs != n {
 		t.Fatalf("ingested %d cfs, want %d (exactly once)", cfs, n)
+	}
+}
+
+// TestWALWedgeStopsAcksAndReadiness: once the WAL wedges, every message
+// is NACKed retryable (nothing is acked that recovery could lose),
+// /readyz flips so a supervisor restarts the daemon, and — the baseline
+// guard — a fresh client whose first message was shed by the wedge cannot
+// have its successor accepted as a new baseline: the hole still bounces
+// as out of order.
+func TestWALWedgeStopsAcksAndReadiness(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultServerConfig()
+	cfg.Durability = &DurabilityConfig{Dir: dir, Fsync: FsyncAlways}
+	srv, err := ServeWith("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Ready(); err != nil {
+		t.Fatalf("fresh server not ready: %v", err)
+	}
+	srv.wal.wedge(errors.New("injected: disk failure"))
+	if err := srv.Ready(); err == nil {
+		t.Fatal("server with wedged WAL still ready")
+	}
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	sendLine(t, conn, `{"type":"cf","cf":{"src":1,"dst":2},"seq":1,"client":"h1"}`)
+	if rep := readReplies(t, br, conn, 1)[0]; rep.Nak != 1 || !rep.Retry {
+		t.Fatalf("wedged-WAL reply %+v, want retryable nak 1", rep)
+	}
+	// seq 2 must not become h1's baseline past the shed seq 1.
+	sendLine(t, conn, `{"type":"cf","cf":{"src":1,"dst":3},"seq":2,"client":"h1"}`)
+	if rep := readReplies(t, br, conn, 1)[0]; rep.Nak != 2 || !rep.Retry {
+		t.Fatalf("successor of shed message: %+v, want retryable nak 2", rep)
+	}
+	if _, _, cfs := srv.Counts(); cfs != 0 {
+		t.Fatalf("wedged server ingested %d cfs, want 0", cfs)
+	}
+	st := srv.Stats()
+	if st.WALErrors != 1 {
+		t.Fatalf("WALErrors = %d, want 1 (the shed seq 1)", st.WALErrors)
+	}
+	if st.Overloaded != 1 {
+		t.Fatalf("Overloaded = %d, want 1 (the out-of-order seq 2)", st.Overloaded)
 	}
 }
 

@@ -147,6 +147,12 @@ type ServerConfig struct {
 	// bytes before it is dropped (a stalled client must not hold its
 	// handler — or Close — hostage). <= 0 disables the deadline.
 	ReadTimeout time.Duration
+	// WriteTimeout bounds one reply write. Acks flow through the single
+	// applier goroutine, so a peer that stops reading its replies (full
+	// TCP send buffer) would head-of-line block every client's acks; it
+	// is disconnected instead. 0 uses the default (10s); < 0 disables
+	// the deadline.
+	WriteTimeout time.Duration
 	// MaxLineBytes caps one protocol line; a longer line terminates the
 	// connection (counted in Stats().Oversized) instead of growing the
 	// scanner buffer without bound. <= 0 uses the default (16 MiB).
@@ -184,7 +190,12 @@ type ServerConfig struct {
 // timeout is generous — an idle monitor between collectives is normal —
 // but finite, and a dropped idle client just reconnects.
 func DefaultServerConfig() ServerConfig {
-	return ServerConfig{ReadTimeout: 2 * time.Minute, MaxLineBytes: 16 << 20, MaxQueue: 1024}
+	return ServerConfig{
+		ReadTimeout:  2 * time.Minute,
+		WriteTimeout: 10 * time.Second,
+		MaxLineBytes: 16 << 20,
+		MaxQueue:     1024,
+	}
 }
 
 // ServerStats counts the abuse and overload the server shrugged off.
@@ -222,6 +233,12 @@ type clientState struct {
 	lastSeen time.Time
 	tokens   float64
 	refilled time.Time
+	// retryLow is the lowest seq the server load-shed with a retryable
+	// NACK under this state. While the state has no live highwater
+	// (acked == 0) the applier refuses to baseline past it — the shed
+	// message's resubmission must land first or it would be wrongly
+	// suppressed as a duplicate. Cleared once acked reaches it.
+	retryLow int64
 }
 
 // ingestItem is one accepted message queued for the applier. raw is the
@@ -281,6 +298,9 @@ func Serve(addr string) (*Server, error) {
 func ServeWith(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.MaxLineBytes <= 0 {
 		cfg.MaxLineBytes = 16 << 20
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 10 * time.Second
 	}
 	if cfg.MaxQueue <= 0 {
 		cfg.MaxQueue = 1024
@@ -368,7 +388,9 @@ func (s *Server) applyRecovered(rec *RecoveredState) {
 		s.cfs[f.Key()] = true
 	}
 	for _, a := range rec.Snapshot.Acked {
-		s.clients[a.Client] = &clientState{acked: a.Seq, lastSeen: now, refilled: now}
+		st := s.newClientState(now)
+		st.acked = a.Seq
+		s.clients[a.Client] = st
 	}
 	for _, msg := range rec.Messages {
 		if msg.Seq > 0 && msg.Seq <= s.clientAcked(msg.Client) {
@@ -415,12 +437,20 @@ func (s *Server) Conns() int {
 func (s *Server) QueueDepth() int { return len(s.queue) }
 
 // Ready reports whether the server is accepting and ingesting — the
-// /readyz contract. It returns an error while draining or closed.
+// /readyz contract. It returns an error while draining or closed, and
+// once the WAL has wedged (a failed flush or fsync stops all acks; only
+// a restart recovers the log), so a supervisor sees the daemon needs
+// restarting instead of NACKing every client forever.
 func (s *Server) Ready() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining || s.closed {
 		return errors.New("analyzerd: draining")
+	}
+	if s.wal != nil {
+		if err := s.wal.wedged(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -596,7 +626,7 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			s.count(func(st *ServerStats) { st.Malformed++ })
 			s.log.Warn("malformed line", "peer", peer, "err", err.Error())
-			fmt.Fprintf(conn, `{"error":%q}`+"\n", err.Error())
+			s.replyf(conn, `{"error":%q}`+"\n", err.Error())
 			continue
 		}
 		key := msg.Client
@@ -610,13 +640,13 @@ func (s *Server) handle(conn net.Conn) {
 		if msg.Seq > 0 && s.alreadyAcked(msg.Client, msg.Seq) {
 			s.count(func(st *ServerStats) { st.Duplicates++ })
 			s.log.Debug("duplicate suppressed", "peer", peer, "client", msg.Client, "seq", msg.Seq)
-			fmt.Fprintf(conn, `{"ack":%d}`+"\n", msg.Seq)
+			s.replyf(conn, `{"ack":%d}`+"\n", msg.Seq)
 			continue
 		}
 		if !s.admit(key) {
 			s.count(func(st *ServerStats) { st.RateLimited++ })
 			s.log.Warn("rate limited", "peer", peer, "client", key)
-			s.nackRetry(conn, msg.Seq, "rate limited")
+			s.nackRetry(conn, msg.Client, msg.Seq, "rate limited")
 			continue
 		}
 		item := ingestItem{msg: msg, raw: append([]byte(nil), line...), conn: conn, key: key}
@@ -625,7 +655,7 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			s.count(func(st *ServerStats) { st.Overloaded++ })
 			s.log.Warn("ingest queue full", "peer", peer, "depth", len(s.queue))
-			s.nackRetry(conn, msg.Seq, "overloaded")
+			s.nackRetry(conn, msg.Client, msg.Seq, "overloaded")
 		}
 	}
 	switch err := sc.Err(); {
@@ -633,7 +663,7 @@ func (s *Server) handle(conn net.Conn) {
 	case errors.Is(err, bufio.ErrTooLong):
 		s.count(func(st *ServerStats) { st.Oversized++ })
 		s.log.Warn("oversized line, dropping connection", "peer", peer, "limit", s.cfg.MaxLineBytes)
-		fmt.Fprintf(conn, `{"error":%q}`+"\n",
+		s.replyf(conn, `{"error":%q}`+"\n",
 			fmt.Sprintf("line exceeds %d bytes", s.cfg.MaxLineBytes))
 	default:
 		var nerr net.Error
@@ -645,12 +675,51 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // nackRetry tells the client to back off and resubmit: the message was
-// not accepted, but only because of transient pressure.
-func (s *Server) nackRetry(conn net.Conn, seq int64, reason string) {
+// not accepted, but only because of transient pressure. The shed seq is
+// recorded on the client's state so the applier cannot baseline a fresh
+// ack window past the hole (see apply).
+func (s *Server) nackRetry(conn net.Conn, client string, seq int64, reason string) {
+	s.noteRetryNack(client, seq)
 	if seq > 0 {
-		fmt.Fprintf(conn, `{"nak":%d,"error":%q,"retry":true}`+"\n", seq, reason)
+		s.replyf(conn, `{"nak":%d,"error":%q,"retry":true}`+"\n", seq, reason)
 	} else {
-		fmt.Fprintf(conn, `{"error":%q,"retry":true}`+"\n", reason)
+		s.replyf(conn, `{"error":%q,"retry":true}`+"\n", reason)
+	}
+}
+
+// noteRetryNack remembers the lowest seq load-shed from a client with a
+// retryable NACK, the guard the applier's baseline rule checks before
+// trusting a first-seen seq.
+func (s *Server) noteRetryNack(client string, seq int64) {
+	if seq <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.clients[client]
+	if st == nil {
+		st = s.newClientState(s.now())
+		s.clients[client] = st
+	}
+	if st.retryLow == 0 || seq < st.retryLow {
+		st.retryLow = seq
+	}
+}
+
+// replyf writes one reply line under the write deadline, closing the
+// connection on failure: acks flow through the single applier goroutine,
+// so a peer that stops reading its replies must not head-of-line block
+// every other client — it is cut off and re-syncs by resubmitting on
+// reconnect.
+func (s *Server) replyf(conn net.Conn, format string, args ...any) {
+	if s.cfg.WriteTimeout > 0 {
+		//lint:ignore nosystime write deadline on a real TCP connection; wall clock never reaches simulation state
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	if _, err := fmt.Fprintf(conn, format, args...); err != nil {
+		s.log.Warn("reply write failed, dropping connection",
+			"peer", conn.RemoteAddr().String(), "err", err.Error())
+		conn.Close()
 	}
 }
 
@@ -672,22 +741,34 @@ func (s *Server) apply(item ingestItem) {
 	msg := item.msg
 	if msg.Seq > 0 {
 		s.mu.Lock()
-		acked := s.clientAcked(msg.Client)
+		var acked, retryLow int64
+		if st := s.clients[msg.Client]; st != nil {
+			acked, retryLow = st.acked, st.retryLow
+		}
 		s.mu.Unlock()
-		if msg.Seq <= acked {
+		switch {
+		case msg.Seq <= acked:
 			// A resubmission raced its original through the queue.
 			s.count(func(st *ServerStats) { st.Duplicates++ })
-			fmt.Fprintf(item.conn, `{"ack":%d}`+"\n", msg.Seq)
+			s.replyf(item.conn, `{"ack":%d}`+"\n", msg.Seq)
 			return
-		}
-		if msg.Seq != acked+1 {
+		case acked == 0 && (retryLow == 0 || msg.Seq <= retryLow):
+			// No live highwater for this client: first contact, an ack
+			// window evicted by AckTTL, or state lost to a non-durable
+			// restart. Its seq counter is process-lifetime monotonic, so
+			// demanding seq 1 would NACK its resubmissions forever; the
+			// first seen seq becomes the new baseline instead. That is
+			// only unsafe when a lower seq was already load-shed under
+			// this state (retryLow) — then the hole must be filled first,
+			// which the next case enforces.
+		case msg.Seq != acked+1:
 			// An earlier message from this client was NACKed (overload,
 			// rate limit) after this one was already queued. Accepting it
 			// would advance the cumulative ack highwater past that hole
 			// and the resubmission would be wrongly suppressed as a
 			// duplicate — so the whole tail is bounced for resubmission.
 			s.count(func(st *ServerStats) { st.Overloaded++ })
-			s.nackRetry(item.conn, msg.Seq, "out of order")
+			s.nackRetry(item.conn, msg.Client, msg.Seq, "out of order")
 			return
 		}
 	}
@@ -695,7 +776,7 @@ func (s *Server) apply(item ingestItem) {
 		if _, err := s.wal.Append(item.raw); err != nil {
 			s.count(func(st *ServerStats) { st.WALErrors++ })
 			s.log.Warn("WAL append failed", "err", err.Error())
-			s.nackRetry(item.conn, msg.Seq, "wal append failed")
+			s.nackRetry(item.conn, msg.Client, msg.Seq, "wal append failed")
 			return
 		}
 	}
@@ -710,9 +791,9 @@ func (s *Server) apply(item ingestItem) {
 			s.mu.Lock()
 			s.markAcked(msg.Client, msg.Seq)
 			s.mu.Unlock()
-			fmt.Fprintf(item.conn, `{"nak":%d,"error":%q}`+"\n", msg.Seq, err.Error())
+			s.replyf(item.conn, `{"nak":%d,"error":%q}`+"\n", msg.Seq, err.Error())
 		} else {
-			fmt.Fprintf(item.conn, `{"error":%q}`+"\n", err.Error())
+			s.replyf(item.conn, `{"error":%q}`+"\n", err.Error())
 		}
 		return
 	}
@@ -720,7 +801,7 @@ func (s *Server) apply(item ingestItem) {
 		s.mu.Lock()
 		s.markAcked(msg.Client, msg.Seq)
 		s.mu.Unlock()
-		fmt.Fprintf(item.conn, `{"ack":%d}`+"\n", msg.Seq)
+		s.replyf(item.conn, `{"ack":%d}`+"\n", msg.Seq)
 	}
 	s.maybeSnapshot()
 }
@@ -821,16 +902,30 @@ func (s *Server) alreadyAcked(client string, seq int64) bool {
 	return seq <= s.clientAcked(client)
 }
 
+// newClientState is the one constructor for per-client state: every path
+// that first learns about a client (bind, admit, ack, NACK, recovery)
+// grants the same full token bucket, so a client arriving via recovery
+// or an applier-side ack is not spuriously rate-limited from zero.
+func (s *Server) newClientState(now time.Time) *clientState {
+	st := &clientState{lastSeen: now, refilled: now}
+	if s.cfg.RateLimit.Rate > 0 {
+		st.tokens = float64(s.burst())
+	}
+	return st
+}
+
 // markAcked advances a client's ack highwater. Callers hold s.mu.
 func (s *Server) markAcked(client string, seq int64) {
 	st := s.clients[client]
 	if st == nil {
-		now := s.now()
-		st = &clientState{lastSeen: now, refilled: now}
+		st = s.newClientState(s.now())
 		s.clients[client] = st
 	}
 	if seq > st.acked {
 		st.acked = seq
+	}
+	if st.retryLow != 0 && st.acked >= st.retryLow {
+		st.retryLow = 0 // the shed message landed; the hole is filled
 	}
 	st.lastSeen = s.now()
 }
@@ -843,10 +938,7 @@ func (s *Server) bindClient(key string) {
 	now := s.now()
 	st := s.clients[key]
 	if st == nil {
-		st = &clientState{lastSeen: now, refilled: now}
-		if s.cfg.RateLimit.Rate > 0 {
-			st.tokens = float64(s.burst())
-		}
+		st = s.newClientState(now)
 		s.clients[key] = st
 	}
 	st.conns++
@@ -907,7 +999,7 @@ func (s *Server) admit(key string) bool {
 	now := s.now()
 	st := s.clients[key]
 	if st == nil {
-		st = &clientState{lastSeen: now, refilled: now, tokens: float64(s.burst())}
+		st = s.newClientState(now)
 		s.clients[key] = st
 	}
 	burst := float64(s.burst())

@@ -26,7 +26,10 @@ import (
 // below the snapshot's horizon — so a crash between "snapshot durable" and
 // "WAL truncated" replays nothing twice. A torn tail (a crash mid-write)
 // or a CRC-corrupt entry ends replay: everything from the first bad byte
-// on is truncated with a counted warning, never a panic.
+// on is truncated with a counted warning, never a panic. A failed write,
+// flush, or fsync on the append side permanently wedges the open log
+// (see wal.failed): only a restart, which re-truncates the debris, may
+// ack messages again.
 
 // FsyncPolicy selects when the WAL reaches stable storage. The zero value
 // is FsyncAlways: the safest policy is the default.
@@ -139,10 +142,38 @@ type wal struct {
 	lastSync time.Time
 	now      func() time.Time
 
+	// failed, once set, permanently wedges the log. After a failed write,
+	// flush, or fsync the file may hold a torn frame whose bytes the
+	// kernel silently dropped from the page cache (Linux fsync error
+	// semantics), so a later entry that syncs fine — and is acked — would
+	// still be truncated at that frame during recovery, losing an acked
+	// message. Every subsequent Append/Sync returns the original error;
+	// the server NACKs (retryable) and reports unready so a supervisor
+	// restarts the daemon, which reopens the log and truncates the
+	// debris. An atomic pointer because Ready() reads it from other
+	// goroutines while the applier writes it.
+	failed atomic.Pointer[error]
+
 	// appends and syncs are atomics only because PublishStats gauges read
 	// them from metrics-scrape goroutines; the applier is the sole writer.
 	appends atomic.Int64
 	syncs   atomic.Int64
+}
+
+// wedge records the log's first fatal error and returns it (or the
+// earlier one if the log already failed).
+func (w *wal) wedge(err error) error {
+	w.failed.CompareAndSwap(nil, &err)
+	return w.wedged()
+}
+
+// wedged returns the error that wedged the log, or nil while it is
+// healthy.
+func (w *wal) wedged() error {
+	if p := w.failed.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // openWAL opens (or creates) the log at dir/wal.log for appending, with
@@ -169,10 +200,13 @@ func openWAL(dir string, nextLSN uint64, policy FsyncPolicy, interval time.Durat
 // as durable as the policy promises. The returned LSN identifies the entry
 // for the snapshot horizon.
 func (w *wal) Append(payload []byte) (uint64, error) {
+	if err := w.wedged(); err != nil {
+		return 0, err
+	}
 	lsn := w.nextLSN
 	entry := encodeWALEntry(nil, lsn, payload)
 	if _, err := w.w.Write(entry); err != nil {
-		return 0, fmt.Errorf("analyzerd: wal append: %w", err)
+		return 0, w.wedge(fmt.Errorf("analyzerd: wal append: %w", err))
 	}
 	w.nextLSN++
 	w.appends.Add(1)
@@ -189,23 +223,28 @@ func (w *wal) Append(payload []byte) (uint64, error) {
 			}
 			w.lastSync = t
 		} else if err := w.w.Flush(); err != nil {
-			return 0, fmt.Errorf("analyzerd: wal flush: %w", err)
+			return 0, w.wedge(fmt.Errorf("analyzerd: wal flush: %w", err))
 		}
 	case FsyncOff:
 		if err := w.w.Flush(); err != nil {
-			return 0, fmt.Errorf("analyzerd: wal flush: %w", err)
+			return 0, w.wedge(fmt.Errorf("analyzerd: wal flush: %w", err))
 		}
 	}
 	return lsn, nil
 }
 
-// Sync flushes buffered entries and forces them to stable storage.
+// Sync flushes buffered entries and forces them to stable storage. A
+// failure wedges the log (see wal.failed): appending past a failed sync
+// could ack messages that recovery later truncates at the torn frame.
 func (w *wal) Sync() error {
+	if err := w.wedged(); err != nil {
+		return err
+	}
 	if err := w.w.Flush(); err != nil {
-		return fmt.Errorf("analyzerd: wal flush: %w", err)
+		return w.wedge(fmt.Errorf("analyzerd: wal flush: %w", err))
 	}
 	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("analyzerd: wal sync: %w", err)
+		return w.wedge(fmt.Errorf("analyzerd: wal sync: %w", err))
 	}
 	w.syncs.Add(1)
 	return nil

@@ -227,7 +227,7 @@ func TestWALResetKeepsLSNHorizon(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, tc := range []struct {
-		minLSN               uint64
+		minLSN                uint64
 		wantEntries, wantSkip int
 	}{
 		{0, 2, 0}, {4, 2, 0}, {5, 1, 1}, {6, 0, 2},
@@ -269,6 +269,43 @@ func TestWALFsyncIntervalPacing(t *testing.T) {
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWALSyncFailureWedges: after a failed flush/fsync the log must stop
+// accepting appends entirely (Linux fsync error semantics: the failed
+// bytes may be gone from the page cache, leaving a torn frame that would
+// truncate later — acked — entries during recovery). The wedge is sticky:
+// every subsequent Append and Sync fails fast with the original error.
+func TestWALSyncFailureWedges(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, 1, FsyncAlways, 0, fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(walPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if w.wedged() != nil {
+		t.Fatal("healthy log reports wedged")
+	}
+	w.f.Close() // the next flush/sync fails like a dying disk
+	if _, err := w.Append(walPayload(2)); err == nil {
+		t.Fatal("append after sync failure succeeded")
+	}
+	wedge := w.wedged()
+	if wedge == nil {
+		t.Fatal("failed sync did not wedge the log")
+	}
+	before := w.appends.Load()
+	if _, err := w.Append(walPayload(3)); !errors.Is(err, wedge) {
+		t.Fatalf("append on wedged log: %v, want sticky %v", err, wedge)
+	}
+	if err := w.Sync(); !errors.Is(err, wedge) {
+		t.Fatalf("sync on wedged log: %v, want sticky %v", err, wedge)
+	}
+	if got := w.appends.Load(); got != before {
+		t.Fatalf("appends grew %d -> %d on a wedged log", before, got)
 	}
 }
 

@@ -160,6 +160,25 @@ func (j *Journal) Compact(results []Result) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: %w", err)
 	}
+	// fsync the directory too: the rename itself must survive a power
+	// loss, or the canonical journal could vanish with the temp name.
+	return syncDir(filepath.Dir(j.path))
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash
+// (the same discipline as analyzerd's snapshot replacement).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
 	return nil
 }
 

@@ -222,6 +222,11 @@ type sweepBenchRow struct {
 	Cases       int     `json:"cases"`
 	CasesPerSec float64 `json:"cases_per_sec"`
 	NsPerCase   int64   `json:"ns_per_case"`
+	// Allocation footprint per simulated case (runtime.MemStats deltas
+	// across the timed loop) — the quantity the hotalloc analyzer exists
+	// to keep flat.
+	AllocsPerCase int64 `json:"allocs_per_case"`
+	BytesPerCase  int64 `json:"bytes_per_case"`
 }
 
 // sweepBenchRows is keyed by bench name; the framework reruns a bench with
@@ -252,6 +257,15 @@ func TestMain(m *testing.M) {
 // optimal parameters) through internal/sweep at a fixed pool size and
 // reports merged-sweep throughput.
 func benchSweepWorkers(b *testing.B, name string, workers int) {
+	// The curve is only meaningful if the pool can actually run in
+	// parallel: raise GOMAXPROCS to the pool size for the duration of the
+	// bench. Earlier recordings ran workers=4 on a single P (the harness
+	// environment pinned GOMAXPROCS=1), which measured scheduler churn and
+	// channel overhead, not scaling.
+	if prev := runtime.GOMAXPROCS(0); workers > prev {
+		runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+	}
 	cfg := benchConfig()
 	opts := scenario.DefaultRunOptions(cfg)
 	opts.Monitor.MaxDetectPerStep = 5 // Fig 9 "optimal parameters"
@@ -261,6 +275,9 @@ func benchSweepWorkers(b *testing.B, name string, workers int) {
 		jobs[i] = sweep.Job{Kind: scenario.Contention, Seed: int64(i), System: scenario.Vedrfolnir}
 	}
 	cases := 0
+	b.ReportAllocs()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sum, err := sweep.Run(jobs, exec, sweep.Options{Workers: workers})
@@ -272,24 +289,33 @@ func benchSweepWorkers(b *testing.B, name string, workers int) {
 		}
 		cases += len(sum.Results)
 	}
+	b.StopTimer()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
 	elapsed := b.Elapsed()
 	casesPerSec := float64(cases) / elapsed.Seconds()
 	b.ReportMetric(casesPerSec, "cases/s")
 	sweepBenchRows[name] = sweepBenchRow{
-		Bench:       name,
-		Workers:     workers,
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Jobs:        len(jobs),
-		Cases:       cases,
-		CasesPerSec: casesPerSec,
-		NsPerCase:   elapsed.Nanoseconds() / int64(cases),
+		Bench:         name,
+		Workers:       workers,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Jobs:          len(jobs),
+		Cases:         cases,
+		CasesPerSec:   casesPerSec,
+		NsPerCase:     elapsed.Nanoseconds() / int64(cases),
+		AllocsPerCase: int64(after.Mallocs-before.Mallocs) / int64(cases),
+		BytesPerCase:  int64(after.TotalAlloc-before.TotalAlloc) / int64(cases),
 	}
 }
 
 func BenchmarkSweepWorkers1(b *testing.B) { benchSweepWorkers(b, "BenchmarkSweepWorkers1", 1) }
 func BenchmarkSweepWorkers4(b *testing.B) { benchSweepWorkers(b, "BenchmarkSweepWorkers4", 4) }
+
+// BenchmarkSweepWorkersMax sizes the pool to the machine, not to the
+// (possibly pinned) starting GOMAXPROCS, so BENCH_sweep.json records a
+// real N-core datapoint.
 func BenchmarkSweepWorkersMax(b *testing.B) {
-	benchSweepWorkers(b, "BenchmarkSweepWorkersMax", runtime.GOMAXPROCS(0))
+	benchSweepWorkers(b, "BenchmarkSweepWorkersMax", runtime.NumCPU())
 }
 
 // --- Core-library micro-benchmarks (ablation/performance support) ---

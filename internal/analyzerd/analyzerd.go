@@ -259,20 +259,20 @@ type Server struct {
 	now func() time.Time
 
 	mu      sync.Mutex
-	records []collective.StepRecord
-	reports []*telemetry.Report
-	cfs     map[fabric.FlowKey]bool
+	records []collective.StepRecord // guarded by mu
+	reports []*telemetry.Report     // guarded by mu
+	cfs     map[fabric.FlowKey]bool // guarded by mu
 	// stepIndex maps a collective flow to its (host, step), learned from
 	// the step records themselves.
-	stepIndex map[fabric.FlowKey]waitgraph.StepRef
+	stepIndex map[fabric.FlowKey]waitgraph.StepRef // guarded by mu
 	// clients holds the per-client ack windows, token buckets, and idle
 	// state; entries for disconnected clients are evicted after AckTTL.
-	clients  map[string]*clientState
-	conns    map[net.Conn]struct{}
-	stats    ServerStats
-	draining bool
-	closed   bool
-	stopped  bool
+	clients  map[string]*clientState // guarded by mu
+	conns    map[net.Conn]struct{}   // guarded by mu
+	stats    ServerStats             // guarded by mu
+	draining bool                    // guarded by mu
+	closed   bool                    // guarded by mu
+	stopped  bool                    // guarded by mu
 
 	// wal and sinceSnap are owned by the applier goroutine (and by
 	// stop(), which runs strictly after the applier exits).
@@ -334,7 +334,7 @@ func ServeWith(addr string, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		if s.wal != nil {
-			s.wal.Close()
+			_ = s.wal.Close() // the listen failure is the error worth returning
 		}
 		return nil, fmt.Errorf("analyzerd: %w", err)
 	}
@@ -373,8 +373,12 @@ func (s *Server) openDurability(dur DurabilityConfig) error {
 }
 
 // applyRecovered loads a recovered snapshot + WAL tail into memory, in
-// the exact ingest order the original run used, without re-logging.
+// the exact ingest order the original run used, without re-logging. It
+// runs before the listener opens, but takes s.mu anyway: the lock is
+// uncontended and keeps the guarded-state discipline uniform.
 func (s *Server) applyRecovered(rec *RecoveredState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	now := s.now()
 	for _, r := range rec.Snapshot.Records {
 		recInt := r.Record()
@@ -396,13 +400,22 @@ func (s *Server) applyRecovered(rec *RecoveredState) {
 		if msg.Seq > 0 && msg.Seq <= s.clientAcked(msg.Client) {
 			continue // resubmission that was logged twice across a crash
 		}
-		s.ingest(msg)
+		if err := s.ingest(msg); err != nil {
+			// Every logged record passed ParseMessage before it was
+			// appended, so an unreplayable one means the WAL was written
+			// by a different (or corrupt) writer: surface it and skip,
+			// leaving the ack window alone so the client resubmits.
+			s.log.Warn("recovery: skipping unreplayable WAL record",
+				"client", msg.Client, "seq", msg.Seq, "err", err.Error())
+			continue
+		}
 		if msg.Seq > 0 {
 			s.markAcked(msg.Client, msg.Seq)
 		}
 	}
 }
 
+// clientAcked returns client's ack highwater. Callers hold s.mu.
 func (s *Server) clientAcked(client string) int64 {
 	if st, ok := s.clients[client]; ok {
 		return st.acked
@@ -533,7 +546,7 @@ func (s *Server) stop(persist bool) error {
 	s.closed = true
 	s.draining = true
 	for conn := range s.conns {
-		conn.Close()
+		_ = conn.Close() // severing peers; their handlers report the close
 	}
 	s.mu.Unlock()
 	err := s.ln.Close()
@@ -563,7 +576,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // racing a shutdown; nothing was written yet
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -575,7 +588,7 @@ func (s *Server) acceptLoop() {
 				s.mu.Lock()
 				delete(s.conns, conn)
 				s.mu.Unlock()
-				conn.Close()
+				_ = conn.Close() // handler already surfaced any I/O error
 			}()
 			s.handle(conn)
 		}()
@@ -714,12 +727,20 @@ func (s *Server) noteRetryNack(client string, seq int64) {
 func (s *Server) replyf(conn net.Conn, format string, args ...any) {
 	if s.cfg.WriteTimeout > 0 {
 		//lint:ignore nosystime write deadline on a real TCP connection; wall clock never reaches simulation state
-		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+			// Without the deadline the Fprintf below could block forever on
+			// a stuck peer, which is exactly the head-of-line stall the
+			// deadline exists to prevent — cut the connection instead.
+			s.log.Warn("reply deadline failed, dropping connection",
+				"peer", conn.RemoteAddr().String(), "err", err.Error())
+			_ = conn.Close()
+			return
+		}
 	}
 	if _, err := fmt.Fprintf(conn, format, args...); err != nil {
 		s.log.Warn("reply write failed, dropping connection",
 			"peer", conn.RemoteAddr().String(), "err", err.Error())
-		conn.Close()
+		_ = conn.Close() // the write error is already reported above
 	}
 }
 
@@ -1024,7 +1045,7 @@ func (s *Server) ingestLocked(msg *Message) error {
 
 // ingest stores one validated message. Validation lives in ParseMessage;
 // by the time a message reaches here its payload is present and singular.
-// Callers hold s.mu (or own the state exclusively, as recovery does).
+// Callers hold s.mu.
 func (s *Server) ingest(msg *Message) error {
 	switch msg.Type {
 	case TypeStep:
@@ -1126,7 +1147,7 @@ func (c *Client) SendCF(flow fabric.FlowKey) error {
 // Close flushes and closes the connection.
 func (c *Client) Close() error {
 	if err := c.w.Flush(); err != nil {
-		c.conn.Close()
+		_ = c.conn.Close() // the flush failure is the error worth returning
 		return err
 	}
 	return c.conn.Close()

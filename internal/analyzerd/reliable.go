@@ -174,7 +174,7 @@ func (rc *ReliableClient) Flush() error {
 			return nil
 		}
 		lastErr = err
-		rc.dropConn()
+		_ = rc.dropConn() // the attempt error is what matters; the conn is already broken
 	}
 	return fmt.Errorf("analyzerd: flush failed after %d attempts: %w",
 		rc.cfg.MaxAttempts, lastErr)
@@ -274,19 +274,24 @@ func (rc *ReliableClient) dropThrough(through int64, rejected bool) {
 	rc.pending = kept
 }
 
-func (rc *ReliableClient) dropConn() {
+func (rc *ReliableClient) dropConn() error {
+	var err error
 	if rc.conn != nil {
-		rc.conn.Close()
+		err = rc.conn.Close()
 		rc.conn = nil
 		rc.br = nil
 	}
+	return err
 }
 
 // Close flushes any remaining messages and closes the connection. The
-// flush error, if any, is returned — buffered records that never made it
-// are a real loss the caller should know about.
+// flush error takes precedence — buffered records that never made it are
+// a real loss the caller should know about — but a clean flush followed
+// by a failed close is still reported rather than swallowed.
 func (rc *ReliableClient) Close() error {
 	err := rc.Flush()
-	rc.dropConn()
+	if cerr := rc.dropConn(); err == nil {
+		err = cerr
+	}
 	return err
 }

@@ -27,21 +27,21 @@ func writeSnapshot(dir string, snap wire.Snapshot) error {
 		return fmt.Errorf("analyzerd: snapshot: %w", err)
 	}
 	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("analyzerd: snapshot: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("analyzerd: snapshot: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("analyzerd: snapshot: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapshotFileName)); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("analyzerd: snapshot: %w", err)
 	}
 	return syncDir(dir)

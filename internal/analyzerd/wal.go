@@ -276,7 +276,7 @@ func (w *wal) Close() error {
 // abandon drops buffered writes and the descriptor without flushing — the
 // crash-test stand-in for SIGKILL: whatever the policy already made
 // durable is on disk, everything else is torn away.
-func (w *wal) abandon() { w.f.Close() }
+func (w *wal) abandon() { _ = w.f.Close() }
 
 // replayWAL reads dir/wal.log and hands every intact entry with
 // lsn >= minLSN to apply, in log order. Replay ends at the first torn or

@@ -1,0 +1,167 @@
+// The vedrvet baseline: a ledger of known violations (lint/baseline.json)
+// that lets the suite gate CI on *new* findings while existing debt stays
+// visible and burns down. Entries are matched by fingerprint — a hash of
+// the analyzer, the module-relative file, the trimmed text of the
+// offending source line, and the message — so pure line-number drift
+// (code added above) keeps a finding recognized, while touching the
+// offending line itself invalidates the entry and resurfaces the finding.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BaselineFormat versions the baseline file.
+const BaselineFormat = 1
+
+// BaselineEntry records one known finding.
+type BaselineEntry struct {
+	Rule        string `json:"rule"`
+	File        string `json:"file"` // module-relative, forward slashes
+	Fingerprint string `json:"fingerprint"`
+	// Line and Note are informational (refreshed by -update-baseline);
+	// matching uses only the fingerprint.
+	Line int    `json:"line"`
+	Note string `json:"note"`
+}
+
+// Baseline is the known-violation set CI diffs fresh runs against.
+type Baseline struct {
+	Format  int             `json:"format"`
+	Tool    string          `json:"tool"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads the baseline at path; a missing file is an empty
+// baseline (a new checkout gates on everything).
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Format: BaselineFormat, Tool: "vedrvet"}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Format != BaselineFormat {
+		return nil, fmt.Errorf("lint: baseline %s has format %d, want %d", path, b.Format, BaselineFormat)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes b to path, deterministically ordered so the file
+// diffs cleanly under version control.
+func WriteBaseline(path string, b *Baseline) error {
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Line != c.Line {
+			return a.Line < c.Line
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Fingerprint < c.Fingerprint
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	return nil
+}
+
+// NewBaseline records diags (positions under moduleDir) as the
+// known-violation set.
+func NewBaseline(moduleDir string, diags []Diagnostic) *Baseline {
+	b := &Baseline{Format: BaselineFormat, Tool: "vedrvet"}
+	src := sourceCache{}
+	for _, d := range diags {
+		fp, rel := fingerprintDiag(moduleDir, d, src)
+		b.Entries = append(b.Entries, BaselineEntry{
+			Rule:        d.Analyzer,
+			File:        rel,
+			Fingerprint: fp,
+			Line:        d.Pos.Line,
+			Note:        d.Message,
+		})
+	}
+	return b
+}
+
+// DiffBaseline splits diags into fresh findings (not in the baseline) and
+// returns the baseline entries that matched nothing — fixed debt, ready to
+// prune with -update-baseline. Matching is a multiset: N identical
+// findings need N entries.
+func DiffBaseline(b *Baseline, moduleDir string, diags []Diagnostic) (fresh []Diagnostic, unmatched []BaselineEntry) {
+	remaining := map[string]int{}
+	for _, e := range b.Entries {
+		remaining[e.Fingerprint]++
+	}
+	src := sourceCache{}
+	for _, d := range diags {
+		fp, _ := fingerprintDiag(moduleDir, d, src)
+		if remaining[fp] > 0 {
+			remaining[fp]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Entries {
+		if remaining[e.Fingerprint] > 0 {
+			remaining[e.Fingerprint]--
+			unmatched = append(unmatched, e)
+		}
+	}
+	return fresh, unmatched
+}
+
+// sourceCache memoizes file contents split into lines.
+type sourceCache map[string][]string
+
+func (c sourceCache) line(file string, n int) string {
+	lines, ok := c[file]
+	if !ok {
+		data, err := os.ReadFile(file)
+		if err == nil {
+			lines = strings.Split(string(data), "\n")
+		}
+		c[file] = lines
+	}
+	if n < 1 || n > len(lines) {
+		return ""
+	}
+	return lines[n-1]
+}
+
+// fingerprintDiag hashes the drift-stable identity of a finding.
+func fingerprintDiag(moduleDir string, d Diagnostic, src sourceCache) (fp, relFile string) {
+	relFile = d.Pos.Filename
+	if rel, err := filepath.Rel(moduleDir, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		relFile = filepath.ToSlash(rel)
+	}
+	text := strings.TrimSpace(src.line(d.Pos.Filename, d.Pos.Line))
+	h := fnv.New64a()
+	for _, part := range []string{d.Analyzer, relFile, text, d.Message} {
+		_, _ = h.Write([]byte(part))
+		_, _ = h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), relFile
+}

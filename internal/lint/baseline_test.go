@@ -1,0 +1,116 @@
+package lint_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vedrfolnir/internal/lint"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func diagAt(file string, line int, msg string) lint.Diagnostic {
+	return lint.Diagnostic{
+		Analyzer: "errdrop",
+		Pos:      token.Position{Filename: file, Line: line, Column: 2},
+		Message:  msg,
+	}
+}
+
+// TestBaselineStableUnderLineDrift is the burn-down contract: a recorded
+// finding stays recognized when code is added above it (pure line drift),
+// and resurfaces as fresh the moment the offending line itself changes.
+func TestBaselineStableUnderLineDrift(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "pkg", "f.go")
+	const msg = "f.Sync returns an error that is discarded; handle it or discard explicitly with `_ =`"
+
+	writeFile(t, file, "package pkg\n\nfunc flush() {\n\tf.Sync()\n}\n")
+	base := lint.NewBaseline(dir, []lint.Diagnostic{diagAt(file, 4, msg)})
+	if got := base.Entries[0].File; got != "pkg/f.go" {
+		t.Fatalf("entry file = %q, want module-relative %q", got, "pkg/f.go")
+	}
+
+	// Drift: three lines inserted above; the finding moves to line 7 but
+	// its fingerprint (file, line text, message) is unchanged.
+	writeFile(t, file, "package pkg\n\n// a\n// b\n// c\nfunc flush() {\n\tf.Sync()\n}\n")
+	fresh, unmatched := lint.DiffBaseline(base, dir, []lint.Diagnostic{diagAt(file, 7, msg)})
+	if len(fresh) != 0 || len(unmatched) != 0 {
+		t.Fatalf("after pure line drift: fresh=%v unmatched=%v, want none", fresh, unmatched)
+	}
+
+	// Touching the offending line invalidates the entry: the finding is
+	// fresh again and the old entry is prunable.
+	writeFile(t, file, "package pkg\n\nfunc flush() {\n\tf.Sync() // changed\n}\n")
+	fresh, unmatched = lint.DiffBaseline(base, dir, []lint.Diagnostic{diagAt(file, 4, msg)})
+	if len(fresh) != 1 || len(unmatched) != 1 {
+		t.Fatalf("after editing the line: fresh=%d unmatched=%d, want 1 and 1", len(fresh), len(unmatched))
+	}
+}
+
+// TestBaselineMultiset pins multiset matching: two identical findings
+// (same file, same line text, same message — e.g. the same drop repeated)
+// need two entries; one entry carries only one of them.
+func TestBaselineMultiset(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "pkg", "f.go")
+	const msg = "f.Close returns an error that is discarded; handle it or discard explicitly with `_ =`"
+	writeFile(t, file, "package pkg\n\nfunc a() {\n\tf.Close()\n}\n\nfunc b() {\n\tf.Close()\n}\n")
+
+	both := []lint.Diagnostic{diagAt(file, 4, msg), diagAt(file, 8, msg)}
+	base := lint.NewBaseline(dir, both)
+	if base.Entries[0].Fingerprint != base.Entries[1].Fingerprint {
+		t.Fatalf("identical findings should share a fingerprint")
+	}
+	if fresh, unmatched := lint.DiffBaseline(base, dir, both); len(fresh) != 0 || len(unmatched) != 0 {
+		t.Fatalf("full multiset: fresh=%v unmatched=%v, want none", fresh, unmatched)
+	}
+
+	one := lint.NewBaseline(dir, both[:1])
+	fresh, _ := lint.DiffBaseline(one, dir, both)
+	if len(fresh) != 1 {
+		t.Fatalf("one entry against two findings: fresh=%d, want 1", len(fresh))
+	}
+}
+
+// TestBaselineRoundTrip checks Write/Load and that a missing file loads as
+// an empty baseline (a fresh checkout gates on everything).
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lint", "baseline.json")
+
+	empty, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline(missing): %v", err)
+	}
+	if len(empty.Entries) != 0 || empty.Tool != "vedrvet" {
+		t.Fatalf("missing baseline should load empty, got %+v", empty)
+	}
+
+	file := filepath.Join(dir, "pkg", "f.go")
+	writeFile(t, file, "package pkg\n\nfunc a() {\n\tf.Close()\n}\n")
+	b := lint.NewBaseline(dir, []lint.Diagnostic{diagAt(file, 4, "msg")})
+	if err := lint.WriteBaseline(path, b); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	got, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(got.Entries) != 1 || got.Entries[0] != b.Entries[0] {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got.Entries, b.Entries)
+	}
+	if got.Format != lint.BaselineFormat {
+		t.Fatalf("format = %d, want %d", got.Format, lint.BaselineFormat)
+	}
+}

@@ -1,0 +1,175 @@
+// Intra-procedural dataflow helpers shared by the concurrency and
+// error-flow analyzers: control-flow shape queries (forever-loops,
+// constructor-fresh locals) and callee resolution, all over go/ast and
+// go/types. Deliberately no SSA: def-use over types.Info covers the
+// invariants this suite enforces and keeps the framework stdlib-only.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// inspectSkipFuncLit walks the tree rooted at n without descending into
+// function literals: their bodies run on a different control path (often a
+// different goroutine), so their statements say nothing about n's own
+// control flow.
+func inspectSkipFuncLit(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		if m == nil {
+			return true
+		}
+		return fn(m)
+	})
+}
+
+// foreverLoop returns the position of the first condition-less for-loop in
+// body whose own control flow has no exit edge — no return, break, goto,
+// select, or channel operation. Such a loop can only be left by killing
+// the process; a goroutine running one has no shutdown path.
+func foreverLoop(body ast.Node, info *types.Info) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	inspectSkipFuncLit(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Cond != nil {
+			return true
+		}
+		if !loopHasExit(fs.Body, info) {
+			pos, found = fs.For, true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}
+
+// loopHasExit reports whether a loop body contains an edge that can end or
+// coordinate the loop: return, break, goto, a select, a channel operation,
+// or ranging over a channel. The check is conservative in the safe
+// direction — a break targeting an inner loop still counts — because the
+// analyzers using it only report when no edge exists at all.
+func loopHasExit(body *ast.BlockStmt, info *types.Info) bool {
+	exit := false
+	inspectSkipFuncLit(body, func(n ast.Node) bool {
+		if exit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			exit = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				exit = true
+			}
+		case *ast.SelectStmt:
+			exit = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				exit = true
+			}
+		case *ast.SendStmt:
+			exit = true
+		case *ast.RangeStmt:
+			if info != nil {
+				if t := info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						exit = true
+					}
+				}
+			}
+		}
+		return !exit
+	})
+	return exit
+}
+
+// calleeFunc resolves the function or method a call statically invokes,
+// or nil for builtins, conversions, and calls through function values.
+func calleeFunc(call *ast.CallExpr, info *types.Info) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// shortFuncName renders fn for diagnostics: Type.Method for methods,
+// pkg.Func otherwise.
+func shortFuncName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// freshLocals returns the local variables of body that are initialized
+// from a composite literal, new, or make in the function itself. Until
+// such a value escapes, no other goroutine can reach it, so guarded-field
+// accesses through these locals are the constructor pattern, not races.
+func freshLocals(body ast.Node, info *types.Info) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil && isFreshExpr(as.Rhs[i]) {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshExpr reports whether e constructs a brand-new value: a composite
+// literal (optionally behind &) or a new/make call.
+func isFreshExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			return id.Name == "new" || id.Name == "make"
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop forbids silently discarding load-bearing error returns — the bug
+// class that turns a failed WAL fsync into corrupted-but-trusted state.
+// Two patterns are reported:
+//
+//  1. A call whose last result is an error used as a bare statement, when
+//     the callee is a module function or comes from the error-bearing
+//     stdlib I/O packages (os, io, net, bufio, plus fmt.Fprint* to
+//     fallible writers). Discarding explicitly with `_ = f()` is allowed —
+//     the point is that drops must be visible in review — and deferred
+//     calls and `go` statements are conventionally exempt.
+//  2. An error variable overwritten before it is ever read (def-use over
+//     go/types within one statement list): `v, err := f(); w, err := g()`
+//     silently forgets f's failure.
+//
+// Writers that cannot fail (*strings.Builder, *bytes.Buffer) and the
+// process streams os.Stdout/os.Stderr are exempt from the fmt.Fprint rule.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "forbid silently discarding error returns from module functions and os/io/net/bufio calls; " +
+		"drop deliberately with `_ =` or handle the error",
+	Run: runErrDrop,
+}
+
+// errStdlibPkgs are the stdlib packages whose error returns are always
+// load-bearing for this repository's durability story.
+var errStdlibPkgs = map[string]bool{
+	"os": true, "io": true, "io/fs": true, "net": true, "bufio": true,
+}
+
+func runErrDrop(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// Immediate calls of defer/go statements are exempt by convention.
+		exempt := map[*ast.CallExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				exempt[n.Call] = true
+			case *ast.GoStmt:
+				exempt[n.Call] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok || exempt[call] {
+					return true
+				}
+				if why, bad := dropsError(pass, call); bad {
+					pass.Reportf(call.Pos(),
+						"%s returns an error that is discarded; handle it or discard explicitly with `_ =`", why)
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkErrOverwrites(pass, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// dropsError reports whether call's discarded result set ends in a
+// load-bearing error.
+func dropsError(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(call, pass.TypesInfo)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	results := sig.Results()
+	if results.Len() == 0 || !isErrorType(results.At(results.Len()-1).Type()) {
+		return "", false
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	// bufio.Writer latches its first error and returns it from Flush (and
+	// from every later call): dropping intermediate Write/WriteString
+	// returns is the idiom, and only the Flush result is load-bearing.
+	if recv := sig.Recv(); recv != nil && fn.Name() != "Flush" {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil &&
+			n.Obj().Pkg().Path() == "bufio" && n.Obj().Name() == "Writer" {
+			return "", false
+		}
+	}
+	switch {
+	case pass.moduleFunc(fn):
+	case errStdlibPkgs[pkg.Path()]:
+	case pkg.Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint"):
+		if len(call.Args) == 0 || safeWriter(pass, call.Args[0]) {
+			return "", false
+		}
+	default:
+		return "", false
+	}
+	return types.ExprString(call.Fun), true
+}
+
+// safeWriter reports whether e is a writer whose Write cannot meaningfully
+// fail: an in-memory buffer, or the process's own stdout/stderr (where the
+// universal CLI convention is to ignore write errors).
+func safeWriter(pass *Pass, e ast.Expr) bool {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		if v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok &&
+			v.Pkg() != nil && v.Pkg().Path() == "os" &&
+			(v.Name() == "Stdout" || v.Name() == "Stderr") {
+			return true
+		}
+	}
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// checkErrOverwrites is the def-use pass: within each straight-line
+// statement list of body, an assignment to an error variable that is
+// overwritten by a later assignment in the same list, with no intervening
+// read, drops the first error. Branch-local assignments live in nested
+// lists and are never compared across branches, and error variables
+// captured by closures are skipped entirely — their reads can happen on
+// any path (deferred handlers, goroutines).
+func checkErrOverwrites(pass *Pass, body *ast.BlockStmt) {
+	captured := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					captured[obj] = true
+				}
+			}
+			return true
+		})
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		checkErrOverwritesList(pass, block.List, captured)
+		return true
+	})
+}
+
+func checkErrOverwritesList(pass *Pass, list []ast.Stmt, captured map[types.Object]bool) {
+	// lastWrite maps an error object to the statement index of its latest
+	// unread assignment in this list.
+	type write struct {
+		idx int
+		id  *ast.Ident
+	}
+	lastWrite := map[types.Object]write{}
+	readsIn := func(n ast.Node, obj types.Object) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	for i, s := range list {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil || !isErrorType(obj.Type()) || captured[obj] {
+				continue
+			}
+			if prev, ok := lastWrite[obj]; ok {
+				read := false
+				for j := prev.idx + 1; j < i && !read; j++ {
+					read = readsIn(list[j], obj)
+				}
+				// The overwriting statement's RHS may read it too
+				// (err = fmt.Errorf("...: %w", err)).
+				for _, rhs := range as.Rhs {
+					if readsIn(rhs, obj) {
+						read = true
+					}
+				}
+				if !read {
+					pass.Reportf(prev.id.Pos(),
+						"error assigned to %s is overwritten before being checked", prev.id.Name)
+				}
+			}
+			lastWrite[obj] = write{idx: i, id: id}
+		}
+	}
+}

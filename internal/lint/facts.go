@@ -1,0 +1,251 @@
+// Cross-package facts: behavioral summaries of exported (and unexported)
+// symbols, extracted per package and propagated in dependency order so
+// analyzers can reason transitively — "this function eventually reads the
+// wall clock", "this goroutine body can never be stopped", "this field is
+// guarded by that mutex". Facts are keyed by go/types object identity,
+// which the loader's shared importer keeps stable across packages within
+// one run.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// guardedByRE matches the guarded-field annotation on a struct field:
+//
+//	mu      sync.Mutex
+//	records map[string]int // guarded by mu
+//
+// The named mutex must be a sibling field of the same struct; the
+// guardedfield analyzer then requires <recv>.mu to be held wherever the
+// field is read or written.
+var guardedByRE = regexp.MustCompile(`guarded by\s+([A-Za-z_]\w*)`)
+
+// FuncFact is what the store knows about one function, including behavior
+// inherited transitively from its callees.
+type FuncFact struct {
+	// WallClock: calling the function (transitively) reads the host clock
+	// through a banned time.* entry point. Suppressed reads — the
+	// sanctioned, justified ones — do not set this, and calls into the
+	// module's wall-clock gateway (internal/simtime) never propagate it.
+	WallClock bool
+	// WallClockVia is the witness chain, e.g. "pollLoop -> time.Now".
+	WallClockVia string
+	// BlocksForever: the function's own control flow contains (or calls
+	// into) a condition-less for-loop with no exit edge, so a call can
+	// never return and a goroutine running it can never be stopped.
+	BlocksForever bool
+	// BlocksVia is the witness chain for BlocksForever.
+	BlocksVia string
+}
+
+// Facts is the cross-package fact store. AddPackage must be called in
+// dependency order (imports first) so that by the time a package is
+// analyzed every fact about its callees is already present; the loader's
+// DependencyOrder provides that order.
+type Facts struct {
+	modulePath string
+	funcs      map[*types.Func]*FuncFact
+	guarded    map[*types.Var]string
+}
+
+// NewFacts returns an empty store for the module at modulePath ("" for
+// single-package runs, which disables module-relative scoping like the
+// simtime gateway).
+func NewFacts(modulePath string) *Facts {
+	return &Facts{
+		modulePath: modulePath,
+		funcs:      map[*types.Func]*FuncFact{},
+		guarded:    map[*types.Var]string{},
+	}
+}
+
+// FuncFact returns the recorded fact for fn.
+func (f *Facts) FuncFact(fn *types.Func) (FuncFact, bool) {
+	if fact, ok := f.funcs[fn]; ok {
+		return *fact, true
+	}
+	return FuncFact{}, false
+}
+
+// GuardedBy returns the sibling mutex field name guarding field, if the
+// field carries a "guarded by" annotation.
+func (f *Facts) GuardedBy(field *types.Var) (string, bool) {
+	mu, ok := f.guarded[field]
+	return mu, ok
+}
+
+// isGateway reports whether fn belongs to the module's sanctioned
+// wall-clock gateway package: calls into it are how code is supposed to
+// touch the host clock, so they never taint callers.
+func (f *Facts) isGateway(fn *types.Func) bool {
+	return f.modulePath != "" && fn.Pkg() != nil &&
+		fn.Pkg().Path() == f.modulePath+"/internal/simtime"
+}
+
+// AddPackage extracts facts from one type-checked package: guarded-field
+// annotations, direct wall-clock reads (minus //lint:ignore-sanctioned
+// ones), exit-less forever-loops, and then a fixpoint that folds callee
+// facts — already present for imported packages, iterated to convergence
+// for in-package calls in any declaration order — into the callers.
+func (f *Facts) AddPackage(pkg *Package) {
+	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu, ok := fieldGuard(field)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						f.guarded[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	type fnScan struct {
+		fact         *FuncFact
+		wallCallees  []*types.Func
+		blockCallees []*types.Func
+	}
+	var fns []*fnScan
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sc := &fnScan{fact: &FuncFact{}}
+
+			// Calls launched with `go` run concurrently: they do not make
+			// the launcher block, so they are excluded from BlocksForever
+			// propagation (WallClock still propagates — a spawned clock
+			// read taints the run all the same). Calls inside function
+			// literals are likewise excluded from blocking propagation:
+			// the literal may never run on the enclosing call path.
+			goCalls := map[*ast.CallExpr]bool{}
+			var lits []*ast.FuncLit
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					goCalls[n.Call] = true
+				case *ast.FuncLit:
+					lits = append(lits, n)
+				}
+				return true
+			})
+			inLit := func(call *ast.CallExpr) bool {
+				for _, fl := range lits {
+					if fl.Pos() <= call.Pos() && call.Pos() < fl.End() {
+						return true
+					}
+				}
+				return false
+			}
+
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := bannedTimeCall(call, pkg.Info); ok {
+					if !sup.allows(pkg.Fset.Position(call.Pos()), NoSysTime.Name) && !sc.fact.WallClock {
+						sc.fact.WallClock = true
+						sc.fact.WallClockVia = "time." + name
+					}
+					return true
+				}
+				callee := calleeFunc(call, pkg.Info)
+				if callee == nil {
+					return true
+				}
+				sc.wallCallees = append(sc.wallCallees, callee)
+				if !goCalls[call] && !inLit(call) {
+					sc.blockCallees = append(sc.blockCallees, callee)
+				}
+				return true
+			})
+			if _, ok := foreverLoop(fd.Body, pkg.Info); ok {
+				sc.fact.BlocksForever = true
+				sc.fact.BlocksVia = fmt.Sprintf("for{} in %s", fd.Name.Name)
+			}
+			fns = append(fns, sc)
+			f.funcs[obj] = sc.fact
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, sc := range fns {
+			if !sc.fact.WallClock {
+				for _, callee := range sc.wallCallees {
+					if f.isGateway(callee) {
+						continue
+					}
+					if cf := f.funcs[callee]; cf != nil && cf.WallClock {
+						sc.fact.WallClock = true
+						sc.fact.WallClockVia = shortFuncName(callee) + " -> " + cf.WallClockVia
+						changed = true
+						break
+					}
+				}
+			}
+			if !sc.fact.BlocksForever {
+				for _, callee := range sc.blockCallees {
+					if cf := f.funcs[callee]; cf != nil && cf.BlocksForever {
+						sc.fact.BlocksForever = true
+						sc.fact.BlocksVia = shortFuncName(callee) + " -> " + cf.BlocksVia
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// fieldGuard extracts the "guarded by <mu>" annotation from a struct
+// field's doc or trailing comment.
+func fieldGuard(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1], true
+		}
+	}
+	return "", false
+}
+
+// bannedTimeCall reports whether call invokes one of the banned package
+// time entry points, returning its name.
+func bannedTimeCall(call *ast.CallExpr, info *types.Info) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return "", false
+	}
+	if !bannedTimeFuncs[fn.Name()] {
+		return "", false
+	}
+	return fn.Name(), true
+}

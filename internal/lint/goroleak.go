@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoroLeak forbids launching goroutines with no shutdown edge. A `go`
+// statement is reported when the spawned body — a function literal, or a
+// named function resolved through the cross-package fact store — loops
+// forever without any exit or coordination edge (return, break, select,
+// channel send/receive, or ranging over a channel). Such a goroutine can
+// never be stopped: it outlives Close/Stop, leaks its stack, and keeps
+// touching state after the owner is gone — exactly the lifecycle bug an
+// always-on diagnosis daemon cannot afford. The fix is structural: select
+// on a ctx.Done()/stop channel inside the loop, or range over the work
+// channel so closing it ends the goroutine.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "forbid goroutines whose body loops forever without a shutdown edge " +
+		"(no return/break/select/channel operation, directly or via callees)",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if fl, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				if pos, ok := foreverLoop(fl.Body, pass.TypesInfo); ok {
+					pass.Reportf(pos,
+						"goroutine body loops forever with no shutdown edge; select on a stop/ctx.Done() channel or add an exit condition")
+				}
+				reportBlockingCalls(pass, fl.Body)
+				return true
+			}
+			if fn := calleeFunc(gs.Call, pass.TypesInfo); fn != nil && pass.Facts != nil {
+				if fact, ok := pass.Facts.FuncFact(fn); ok && fact.BlocksForever {
+					pass.Reportf(gs.Pos(),
+						"goroutine runs %s, which loops forever with no shutdown edge (%s); thread a stop channel or context through it",
+						shortFuncName(fn), fact.BlocksVia)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportBlockingCalls flags calls in a goroutine literal's own control
+// flow into functions whose fact says they never return.
+func reportBlockingCalls(pass *Pass, body ast.Node) {
+	if pass.Facts == nil {
+		return
+	}
+	inspectSkipFuncLit(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(call, pass.TypesInfo)
+		if fn == nil {
+			return true
+		}
+		if fact, ok := pass.Facts.FuncFact(fn); ok && fact.BlocksForever {
+			pass.Reportf(call.Pos(),
+				"goroutine calls %s, which loops forever with no shutdown edge (%s); thread a stop channel or context through it",
+				shortFuncName(fn), fact.BlocksVia)
+		}
+		return true
+	})
+}

@@ -87,6 +87,39 @@ func NewLoader(dir string) (*Loader, error) {
 // ModulePath returns the module's import path.
 func (l *Loader) ModulePath() string { return l.modulePath }
 
+// ModuleDir returns the module root directory on disk.
+func (l *Loader) ModuleDir() string { return l.moduleDir }
+
+// DependencyOrder returns every package loaded so far with imports before
+// importers, the order cross-package fact propagation needs. Roots are
+// visited in path order, so the result is deterministic.
+func (l *Loader) DependencyOrder() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	seen := map[string]bool{}
+	var out []*Package
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p.Path] {
+			return
+		}
+		seen[p.Path] = true
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := l.pkgs[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, path := range paths {
+		visit(l.pkgs[path])
+	}
+	return out
+}
+
 // LoadPatterns resolves go-tool-style patterns ("./...", "./internal/sim")
 // relative to the module root and loads every matched package.
 func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {

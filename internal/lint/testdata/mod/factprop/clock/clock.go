@@ -1,0 +1,30 @@
+// Package clock is the fixture's tainted leaf: one unsanctioned host-clock
+// read (whose WallClock fact must propagate to importers) and one
+// suppressed read (whose fact must not exist at all).
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Stamp reads the host clock without sanction; callers inherit the taint
+// through the fact store.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the host clock"
+}
+
+// Sanctioned carries a justified suppression, so no fact is recorded and
+// callers stay clean.
+func Sanctioned() int64 {
+	//lint:ignore nosystime fixture's sanctioned read; the fact must not leak to callers
+	return time.Now().UnixNano()
+}
+
+// Meter carries a guarded-field annotation that importing packages must
+// honor — the annotation fact crosses package boundaries by object
+// identity.
+type Meter struct {
+	Mu sync.Mutex
+	N  int64 // guarded by Mu
+}

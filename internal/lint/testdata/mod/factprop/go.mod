@@ -1,0 +1,3 @@
+module factprop
+
+go 1.21

@@ -1,0 +1,11 @@
+// Package simtime mirrors the real module's sanctioned wall-clock gateway
+// (<module>/internal/simtime): its own read is reported when the analyzer
+// runs here, but calls INTO it never taint callers.
+package simtime
+
+import "time"
+
+// HostNow reads the host clock; the gateway is the one place allowed to.
+func HostNow() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the host clock"
+}

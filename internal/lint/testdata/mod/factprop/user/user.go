@@ -1,0 +1,41 @@
+// Package user imports the tainted leaf: transitive wall-clock reads and
+// cross-package guarded fields must be reported here, while sanctioned and
+// gateway calls stay clean.
+package user
+
+import (
+	"factprop/clock"
+	"factprop/internal/simtime"
+)
+
+func Tainted() int64 {
+	return clock.Stamp() // want "transitively reads the host clock"
+}
+
+// helper picks up the fact from clock.Stamp, and Chained picks it up from
+// helper — two propagation hops, one of them in-package.
+func helper() int64 {
+	return clock.Stamp() // want "transitively reads the host clock"
+}
+
+func Chained() int64 {
+	return helper() // want "call to user.helper transitively reads the host clock"
+}
+
+func CleanSanctioned() int64 {
+	return clock.Sanctioned()
+}
+
+func CleanGateway() int64 {
+	return simtime.HostNow()
+}
+
+func ReadMeter(m *clock.Meter) int64 {
+	m.Mu.Lock()
+	defer m.Mu.Unlock()
+	return m.N
+}
+
+func ReadMeterRacy(m *clock.Meter) int64 {
+	return m.N // want "guarded by Mu but accessed without it held"
+}

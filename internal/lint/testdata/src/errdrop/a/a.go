@@ -1,0 +1,91 @@
+// Package a exercises the errdrop analyzer: discarded error returns from
+// module functions and the error-bearing stdlib I/O packages, plus the
+// overwritten-before-read def-use check.
+package a
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func twoResults() (int, error) { return 0, nil }
+
+func noError() int { return 0 }
+
+func dropModule() {
+	mayFail()    // want "returns an error that is discarded"
+	twoResults() // want "returns an error that is discarded"
+	noError()
+	_ = mayFail()
+	_, _ = twoResults()
+}
+
+// dropDurability is the seeded fsync bug: a dropped Sync return turns a
+// failed flush into corrupted-but-trusted state.
+func dropDurability(f *os.File) {
+	f.Sync()  // want "returns an error that is discarded"
+	f.Close() // want "returns an error that is discarded"
+}
+
+func deferredExempt(f *os.File) {
+	defer f.Close()
+	go mayFail()
+}
+
+// buffered shows the bufio idiom: intermediate writes latch their error
+// and only Flush surfaces it, so only a dropped Flush is reported.
+func buffered(w *bufio.Writer) {
+	w.WriteString("ok")
+	w.WriteByte('\n')
+	w.Flush() // want "returns an error that is discarded"
+}
+
+func writers(sb *strings.Builder, buf *bytes.Buffer, f *os.File) {
+	fmt.Fprintf(sb, "x")
+	fmt.Fprintln(buf, "x")
+	fmt.Fprintf(os.Stdout, "x")
+	fmt.Fprintf(os.Stderr, "x")
+	fmt.Fprintf(f, "x") // want "returns an error that is discarded"
+}
+
+func overwritten() error {
+	err := mayFail() // want "overwritten before being checked"
+	err = mayFail()
+	return err
+}
+
+func wrapped() error {
+	err := mayFail()
+	err = fmt.Errorf("wrap: %w", err)
+	return err
+}
+
+func checkedBetween() error {
+	err := mayFail()
+	if err != nil {
+		return err
+	}
+	err = mayFail()
+	return err
+}
+
+// captured error objects are skipped: the closure may read them on any
+// path.
+func capturedByClosure() error {
+	err := mayFail()
+	defer func() {
+		_ = err
+	}()
+	err = mayFail()
+	return err
+}
+
+func suppressed() {
+	//lint:ignore errdrop best-effort cache warmup, failure just means cold
+	mayFail()
+}

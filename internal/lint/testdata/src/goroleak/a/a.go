@@ -1,0 +1,92 @@
+// Package a exercises the goroleak analyzer: goroutines whose body loops
+// forever with no shutdown edge, launched as literals or as named
+// functions resolved through the fact store.
+package a
+
+func work() {}
+
+// spin loops forever with no exit edge; launching it leaks a goroutine.
+func spin() {
+	for {
+		work()
+	}
+}
+
+// poll has a shutdown edge (the select on stop), so launching it is fine.
+func poll(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+func badLiteral() {
+	go func() {
+		for { // want "loops forever with no shutdown edge"
+			work()
+		}
+	}()
+}
+
+func badNamed() {
+	go spin() // want "goroutine runs a.spin"
+}
+
+func badCallInLiteral(n int) {
+	go func() {
+		if n > 0 {
+			spin() // want "goroutine calls a.spin"
+		}
+	}()
+}
+
+// badTransitive picks the fact up through an intermediate callee.
+func relay() {
+	spin()
+}
+
+func badTransitiveNamed() {
+	go relay() // want "goroutine runs a.relay"
+}
+
+func goodLiteral(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func goodNamed(stop chan struct{}) {
+	go poll(stop)
+}
+
+func goodRangeOverChannel(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+func goodBoundedLoop(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+}
+
+func suppressed() {
+	//lint:ignore goroleak daemon main loop, runs for the process lifetime
+	go spin()
+}

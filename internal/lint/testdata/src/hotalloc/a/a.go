@@ -1,0 +1,93 @@
+// Package a exercises the hotalloc analyzer: per-iteration allocations —
+// fmt formatting, map construction, new/&T{} and interface boxing — inside
+// loops, with the cold-path (return/panic) exemption.
+package a
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type item struct{ id int }
+
+func sink(args ...any) {}
+
+func labels(items []item) []string {
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		out = append(out, fmt.Sprintf("item-%d", it.id)) // want "fmt.Sprintf allocates"
+	}
+	return out
+}
+
+func mapsPerIteration(n int) {
+	for i := 0; i < n; i++ {
+		seen := make(map[string]int) // want "map allocated on every iteration"
+		lit := map[string]int{}      // want "map literal allocated on every iteration"
+		seen["x"] = i
+		lit["y"] = i
+	}
+}
+
+func heapPerIteration(items []item) {
+	for range items {
+		p := new(item) // want "new allocates on every iteration"
+		q := &item{}   // want "&composite literal allocates"
+		p.id = q.id
+	}
+}
+
+func boxing(items []item) {
+	for _, it := range items {
+		_ = any(it.id) // want "conversion boxes int"
+		sink(it.id)    // want "arguments box into any"
+	}
+}
+
+// coldPaths only allocate once per loop exit: return and panic are exempt.
+func coldPaths(items []item) error {
+	for _, it := range items {
+		if it.id < 0 {
+			return fmt.Errorf("negative id %d", it.id)
+		}
+		if it.id > 1<<30 {
+			panic(fmt.Sprintf("absurd id %d", it.id))
+		}
+	}
+	return nil
+}
+
+// hoisted is the blessed shape: buffers reused, appends instead of fmt.
+func hoisted(items []item) []string {
+	out := make([]string, 0, len(items))
+	buf := make([]byte, 0, 32)
+	for _, it := range items {
+		buf = buf[:0]
+		buf = append(buf, "item-"...)
+		buf = strconv.AppendInt(buf, int64(it.id), 10)
+		out = append(out, string(buf))
+	}
+	return out
+}
+
+// literalNotDescended: a function literal defined in the loop is not
+// walked (its execution count is unknown here).
+func literalNotDescended(items []item) []func() string {
+	var out []func() string
+	for _, it := range items {
+		it := it
+		out = append(out, func() string { return fmt.Sprintf("%d", it.id) })
+	}
+	return out
+}
+
+func outsideLoop(it item) string {
+	return fmt.Sprintf("item-%d", it.id)
+}
+
+func suppressed(items []item) {
+	for _, it := range items {
+		//lint:ignore hotalloc error-path formatting, loop runs at most twice
+		sink(fmt.Sprint(it.id))
+	}
+}

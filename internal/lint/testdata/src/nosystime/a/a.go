@@ -21,12 +21,12 @@ func wallClockReads() {
 }
 
 func timers() {
-	<-time.After(tick)                // want `time\.After reads the host clock`
-	t := time.NewTimer(tick)          // want `time\.NewTimer reads the host clock`
+	<-time.After(tick)       // want `time\.After reads the host clock`
+	t := time.NewTimer(tick) // want `time\.NewTimer reads the host clock`
 	_ = t
-	time.AfterFunc(tick, func() {})   // want `time\.AfterFunc reads the host clock`
-	_ = time.NewTicker(time.Second)   // want `time\.NewTicker reads the host clock`
-	_ = time.Tick(time.Second)        // want `time\.Tick reads the host clock`
+	time.AfterFunc(tick, func() {}) // want `time\.AfterFunc reads the host clock`
+	_ = time.NewTicker(time.Second) // want `time\.NewTicker reads the host clock`
+	_ = time.Tick(time.Second)      // want `time\.Tick reads the host clock`
 }
 
 // A reference without a call is still a clock dependency.

@@ -18,12 +18,12 @@ func seeded(seed int64) []int {
 func threaded(rng *rand.Rand) float64 { return rng.Float64() }
 
 func globalDraws() {
-	_ = rand.Intn(10)       // want `global rand\.Intn draws from the shared process-wide source`
-	_ = rand.Float64()      // want `global rand\.Float64 draws from the shared process-wide source`
-	_ = rand.Int63()        // want `global rand\.Int63 draws from the shared process-wide source`
-	_ = rand.Perm(4)        // want `global rand\.Perm draws from the shared process-wide source`
+	_ = rand.Intn(10)                  // want `global rand\.Intn draws from the shared process-wide source`
+	_ = rand.Float64()                 // want `global rand\.Float64 draws from the shared process-wide source`
+	_ = rand.Int63()                   // want `global rand\.Int63 draws from the shared process-wide source`
+	_ = rand.Perm(4)                   // want `global rand\.Perm draws from the shared process-wide source`
 	rand.Shuffle(3, func(i, j int) {}) // want `global rand\.Shuffle draws from the shared process-wide source`
-	rand.Seed(42)           // want `global rand\.Seed draws from the shared process-wide source`
+	rand.Seed(42)                      // want `global rand\.Seed draws from the shared process-wide source`
 }
 
 // Types from the package are fine; only global draws are banned.

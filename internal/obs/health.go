@@ -27,10 +27,10 @@ func probeHandler(check func() error) http.Handler {
 		if check != nil {
 			if err := check(); err != nil {
 				w.WriteHeader(http.StatusServiceUnavailable)
-				io.WriteString(w, err.Error()+"\n")
+				_, _ = io.WriteString(w, err.Error()+"\n") // probe body; the client vanished if this fails
 				return
 			}
 		}
-		io.WriteString(w, "ok\n")
+		_, _ = io.WriteString(w, "ok\n") // probe body; the client vanished if this fails
 	})
 }

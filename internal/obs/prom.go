@@ -74,7 +74,7 @@ func (r *Registry) PublishExpvar(name string) {
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		r.WritePrometheus(w)
+		_ = r.WritePrometheus(w) // scrape body; the client vanished if this fails
 	})
 }
 

@@ -245,7 +245,7 @@ func (t *Tracer) WriteFile(path string) error {
 		return err
 	}
 	if err := t.WriteJSON(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write failure is the error worth returning
 		return err
 	}
 	return f.Close()

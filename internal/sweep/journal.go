@@ -69,12 +69,12 @@ func OpenJournal(path string, spec wire.SweepSpec) (*Journal, error) {
 	j.f = f
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
 	if st.Size() == 0 {
 		if err := j.appendLine(j.header); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 	}
@@ -136,28 +136,28 @@ func (j *Journal) Compact(results []Result) error {
 		return fmt.Errorf("sweep: %w", err)
 	}
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: %w", err)
 	}
 	// fsync before the rename: the compacted journal must be on stable
 	// storage before it replaces the append log, or a crash could leave a
 	// renamed-but-empty canonical file.
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: %w", err)
 	}
 	if err := j.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	if err := os.Rename(tmp.Name(), j.path); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: %w", err)
 	}
 	// fsync the directory too: the rename itself must survive a power

@@ -284,9 +284,18 @@ func newProgress(opts Options, total, skipped int) *progress {
 	}
 	p.clock.Start()
 	if skipped > 0 {
-		fmt.Fprintf(p.w, "sweep: resuming, %d/%d jobs already journaled\n", skipped, total)
+		p.emit("sweep: resuming, %d/%d jobs already journaled\n", skipped, total)
 	}
 	return p
+}
+
+// emit writes one progress line. Progress is best-effort advisory output,
+// but a dead sink (closed pipe, full disk) must not be written to for the
+// rest of a long sweep: the first write failure disables reporting.
+func (p *progress) emit(format string, args ...any) {
+	if _, err := fmt.Fprintf(p.w, format, args...); err != nil {
+		p.w = nil
+	}
 }
 
 func (p *progress) step() {
@@ -306,7 +315,7 @@ func (p *progress) step() {
 		}
 		line += ")"
 	}
-	fmt.Fprintln(p.w, line)
+	p.emit("%s\n", line)
 }
 
 func (p *progress) done(sum *Summary) {
@@ -315,7 +324,7 @@ func (p *progress) done(sum *Summary) {
 	}
 	switch {
 	case sum.Interrupted:
-		fmt.Fprintf(p.w, "sweep: interrupted at %d/%d cases (%d pending)\n",
+		p.emit("sweep: interrupted at %d/%d cases (%d pending)\n",
 			p.done_, p.total, len(sum.Pending))
 	default:
 		elapsed := p.clock.Elapsed()
@@ -326,6 +335,6 @@ func (p *progress) done(sum *Summary) {
 		if len(sum.Failed) > 0 {
 			line += fmt.Sprintf(", %d failed", len(sum.Failed))
 		}
-		fmt.Fprintln(p.w, line)
+		p.emit("%s\n", line)
 	}
 }

@@ -227,7 +227,9 @@ func supervise(argv []string) int {
 			// Forward the signal so the child drains gracefully, then pass
 			// its exit code through; supervision ends with the operator's
 			// intent, not a restart.
-			cmd.Process.Signal(s)
+			if err := cmd.Process.Signal(s); err != nil {
+				fmt.Fprintln(os.Stderr, "vedranalyzerd: supervise: forwarding signal:", err)
+			}
 			werr = <-waitErr
 			if werr == nil {
 				return 0

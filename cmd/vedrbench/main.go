@@ -174,7 +174,9 @@ func main() {
 		os.Exit(2)
 	}
 	for _, j := range journals {
-		j.Close()
+		if err := j.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	for _, ns := range scopes {
 		path := filepath.Join(*traceDir, ns.name+".trace.json")

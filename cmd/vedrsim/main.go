@@ -120,11 +120,14 @@ func main() {
 			bundle.Metrics = scope.M().Flatten()
 		}
 		if err := bundle.Write(f); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Println("bundle written to", *dump)
 	}
 	if *verbose {

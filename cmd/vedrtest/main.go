@@ -1,0 +1,174 @@
+// Command vedrtest runs declarative conformance specs (internal/spec)
+// through the scenario runner (internal/vedrtest) and reports assertion
+// failures as unified diffs of expected vs. actual diagnosis fields.
+//
+// Usage:
+//
+//	vedrtest [-workers N] [-analyzerd PATH] [-artifacts DIR] [-in-process]
+//	         <file.yaml | directory | glob> ...
+//
+// A directory argument runs every *.yaml inside it (sorted); a glob runs
+// its matches. Specs fan out over -workers through the deterministic task
+// pool, and all output is printed in input order after every spec
+// completes, so stdout — including the final machine-readable JSON summary
+// line — is byte-identical at any worker count.
+//
+// Exit status: 0 when every assertion passed, 1 when any assertion failed,
+// 2 on usage errors or specs that failed to parse/validate (the error
+// carries the offending line number).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vedrfolnir/internal/sweep"
+	"vedrfolnir/internal/vedrtest"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type summary struct {
+	Specs        int `json:"specs"`
+	Passed       int `json:"passed"`
+	Failed       int `json:"failed"`
+	LoadErrors   int `json:"load_errors"`
+	Checks       int `json:"checks"`
+	ChecksFailed int `json:"checks_failed"`
+}
+
+func run() int {
+	workers := flag.Int("workers", 4, "specs to run concurrently (output is identical at any count)")
+	analyzerdPath := flag.String("analyzerd", "", "prebuilt vedranalyzerd binary for end-to-end specs (default: go build on demand)")
+	artifacts := flag.String("artifacts", "", "directory for failure artifacts (obs trace + JSON report); empty disables")
+	inProcess := flag.Bool("in-process", false, "force analyzerd-mode specs to run in-process")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: vedrtest [flags] <file.yaml | directory | glob> ...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		return 2
+	}
+
+	files, err := resolveArgs(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vedrtest:", err)
+		return 2
+	}
+
+	r := &vedrtest.Runner{
+		ForceInProcess: *inProcess,
+		AnalyzerdPath:  *analyzerdPath,
+		ArtifactsDir:   *artifacts,
+	}
+	reports := sweep.RunTasks(len(files), *workers, func(i int) *vedrtest.Report {
+		return r.RunFile(files[i])
+	})
+
+	var sum summary
+	sum.Specs = len(reports)
+	for _, rep := range reports {
+		total, failed := rep.Counts()
+		sum.Checks += total
+		sum.ChecksFailed += failed
+		switch {
+		case rep.LoadFailed:
+			sum.LoadErrors++
+			fmt.Printf("FAIL %s: %s\n", rep.File, rep.Err)
+		case rep.Failed():
+			sum.Failed++
+			printFailure(rep)
+		default:
+			sum.Passed++
+			fmt.Printf("ok   %s (%s, %d checks)\n", rep.File, rep.Mode, total)
+		}
+	}
+	data, err := json.Marshal(sum)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vedrtest:", err)
+		return 2
+	}
+	fmt.Printf("%s\n", data)
+	switch {
+	case sum.LoadErrors > 0:
+		return 2
+	case sum.Failed > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// printFailure renders one failed spec: the execution error, or a unified
+// diff of expected vs. actual assertion fields.
+func printFailure(rep *vedrtest.Report) {
+	fmt.Printf("FAIL %s (%s)\n", rep.File, rep.Mode)
+	if rep.Err != "" {
+		fmt.Printf("     %s\n", rep.Err)
+	}
+	if diff := vedrtest.FailureDiff(rep); diff != "" {
+		for _, line := range strings.Split(strings.TrimSuffix(diff, "\n"), "\n") {
+			fmt.Printf("     %s\n", line)
+		}
+	}
+	if rep.TracePath != "" {
+		fmt.Printf("     trace: %s\n", rep.TracePath)
+	}
+	if rep.ReportPath != "" {
+		fmt.Printf("     report: %s\n", rep.ReportPath)
+	}
+}
+
+// resolveArgs expands each argument — file, directory, or glob — into spec
+// files, preserving command-line order and deduplicating.
+func resolveArgs(args []string) ([]string, error) {
+	var files []string
+	seen := make(map[string]bool)
+	addFile := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			files = append(files, path)
+		}
+	}
+	for _, arg := range args {
+		if st, err := os.Stat(arg); err == nil {
+			if !st.IsDir() {
+				addFile(arg)
+				continue
+			}
+			matches, err := filepath.Glob(filepath.Join(arg, "*.yaml"))
+			if err != nil {
+				return nil, err
+			}
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("no *.yaml specs in directory %s", arg)
+			}
+			sort.Strings(matches)
+			for _, m := range matches {
+				addFile(m)
+			}
+			continue
+		}
+		matches, err := filepath.Glob(arg)
+		if err != nil {
+			return nil, fmt.Errorf("bad pattern %q: %w", arg, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("no spec files match %q", arg)
+		}
+		sort.Strings(matches)
+		for _, m := range matches {
+			addFile(m)
+		}
+	}
+	return files, nil
+}

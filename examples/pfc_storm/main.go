@@ -26,7 +26,9 @@ func main() {
 	// pausing rank 0's NIC mid-collective.
 	switches := sess.Switches()
 	stormSwitch := switches[4+0*4+2] // pod 0, first edge switch
-	sess.InjectPFCStorm(stormSwitch, 0, 100*time.Microsecond, 800*time.Microsecond)
+	if err := sess.InjectPFCStorm(stormSwitch, 0, 100*time.Microsecond, 800*time.Microsecond); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("injected PFC storm at switch %d ingress 0\n", stormSwitch)
 
 	rep, err := sess.Run()

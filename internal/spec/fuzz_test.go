@@ -1,0 +1,58 @@
+package spec
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSpecParse drives the parser+decoder with arbitrary bytes: it must
+// never panic, every failure must be a line-annotated *Error, and every
+// success must satisfy the post-validation invariants the runner relies on.
+func FuzzSpecParse(f *testing.F) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.yaml"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte("a: [1, 'x', \"y\\n\"]\n"))
+	f.Add([]byte("scenario:\n  anomaly: clean\n  flows:\n    - src: 1\n      dst: 2\n      mb: 5\nexpect:\n  outcome: TP\n"))
+	f.Add([]byte("a:\r\n\t- b\n"))
+	f.Add([]byte("key: \"unterminated\nnext: '#\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseSpec(data)
+		if err != nil {
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("non-*Error error type %T: %v", err, err)
+			}
+			if se.Line < 0 {
+				t.Fatalf("negative error line: %+v", se)
+			}
+			if sp != nil {
+				t.Fatal("spec returned alongside an error")
+			}
+			return
+		}
+		if sp == nil {
+			t.Fatal("nil spec with nil error")
+		}
+		if len(sp.Scenario.Seeds) == 0 {
+			t.Fatal("validated spec has no seeds")
+		}
+		if sp.Scenario.Ranks < 2 || sp.Scenario.Ranks > 16 {
+			t.Fatalf("validated ranks out of range: %d", sp.Scenario.Ranks)
+		}
+		if sp.Scenario.ScaleDen <= 0 {
+			t.Fatalf("validated scale denominator not positive: %v", sp.Scenario.ScaleDen)
+		}
+	})
+}

@@ -1,0 +1,476 @@
+// Package spec is the declarative scenario layer of the vedrtest
+// conformance subsystem: a stdlib-only parser for a documented YAML subset
+// plus the typed scenario-spec schema it decodes into. A spec file
+// declares a topology, a collective workload, an anomaly construction (or
+// an explicit background-flow timeline), detection parameters, a chaos
+// configuration, an execution mode (in-process or end-to-end through a
+// real vedranalyzerd process), and the expected-diagnosis assertions the
+// runner (internal/vedrtest) diffs the actual diagnosis against.
+//
+// The YAML subset (DESIGN.md §14) covers what scenario specs need and
+// nothing more: block mappings, block sequences (of scalars or mappings),
+// inline flow sequences of scalars ([a, b, c]), plain and quoted scalars,
+// and '#' comments. Anchors, aliases, multi-document streams, multi-line
+// scalars, and flow mappings are out — a spec that needs them is a spec
+// that should be two specs. Every parse and validation error carries the
+// 1-based source line, so corpus failures are debuggable from the message
+// alone.
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeKind discriminates the parse-tree node types.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	// ScalarNode is a leaf value (plain or quoted).
+	ScalarNode NodeKind = iota
+	// MappingNode is an ordered key→node table.
+	MappingNode
+	// SequenceNode is an ordered item list.
+	SequenceNode
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case ScalarNode:
+		return "scalar"
+	case MappingNode:
+		return "mapping"
+	case SequenceNode:
+		return "sequence"
+	default:
+		return fmt.Sprintf("node(%d)", uint8(k))
+	}
+}
+
+// MapEntry is one key/value pair of a mapping, in source order.
+type MapEntry struct {
+	Key   string
+	Line  int
+	Value *Node
+}
+
+// Node is one parse-tree node. Line is the 1-based source line the node
+// starts on.
+type Node struct {
+	Kind NodeKind
+	Line int
+
+	// Value holds a ScalarNode's text, unquoted and unescaped. Quoted
+	// records whether the source was quoted (a quoted scalar is always a
+	// string, never re-interpreted as a number or bool).
+	Value  string
+	Quoted bool
+
+	// Entries holds a MappingNode's pairs in source order.
+	Entries []MapEntry
+
+	// Items holds a SequenceNode's elements in source order.
+	Items []*Node
+}
+
+// Get returns the value node for key in a mapping, or nil.
+func (n *Node) Get(key string) *Node {
+	for _, e := range n.Entries {
+		if e.Key == key {
+			return e.Value
+		}
+	}
+	return nil
+}
+
+// Error is a line-annotated spec error. Line 0 means the error is not tied
+// to a source line (an empty document, an I/O failure upstream).
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+	}
+	return e.Msg
+}
+
+func errAt(line int, format string, args ...any) *Error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// srcLine is one significant (non-blank, comment-stripped) source line.
+type srcLine struct {
+	indent int
+	text   string
+	num    int
+}
+
+// Parse parses one document of the YAML subset into a node tree. The root
+// must be a mapping (scenario specs are key: value documents).
+func Parse(data []byte) (*Node, error) {
+	lines, err := splitLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, &Error{Msg: "empty document"}
+	}
+	p := &parser{lines: lines}
+	root, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, errAt(l.num, "unexpected content %q after the document root (indentation decreased below the root level?)", l.text)
+	}
+	if root.Kind != MappingNode {
+		return nil, errAt(root.Line, "document root must be a mapping, got a %s", root.Kind)
+	}
+	return root, nil
+}
+
+// splitLines strips comments and blank lines and measures indentation.
+// Tabs in indentation are rejected (the classic YAML trap).
+func splitLines(data []byte) ([]srcLine, error) {
+	var out []srcLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		num := i + 1
+		line := strings.TrimSuffix(raw, "\r")
+		text, err := stripComment(line, num)
+		if err != nil {
+			return nil, err
+		}
+		indent := 0
+		for indent < len(text) && text[indent] == ' ' {
+			indent++
+		}
+		if indent < len(text) && text[indent] == '\t' {
+			return nil, errAt(num, "tab in indentation; use spaces")
+		}
+		body := strings.TrimRight(text[indent:], " \t")
+		if body == "" {
+			continue
+		}
+		out = append(out, srcLine{indent: indent, text: body, num: num})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing '#' comment, respecting quotes. A '#'
+// starts a comment at line start or after whitespace; a quote only opens
+// at a value-start position (so an apostrophe inside a plain scalar —
+// "the paper's" — is just text).
+func stripComment(line string, num int) (string, error) {
+	var quote byte
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case quote != 0:
+			if c == '\\' && quote == '"' {
+				i++ // skip the escaped character
+			} else if c == quote {
+				quote = 0
+			}
+		case (c == '\'' || c == '"') && quoteOpens(line, i):
+			quote = c
+		case c == '#' && (i == 0 || line[i-1] == ' ' || line[i-1] == '\t'):
+			return line[:i], nil
+		}
+	}
+	if quote != 0 {
+		return "", errAt(num, "unterminated %q-quoted string", string(quote))
+	}
+	return line, nil
+}
+
+// quoteOpens reports whether a quote character at position i starts a
+// quoted scalar: at line start, or after whitespace, an inline-sequence
+// opener, or an item separator.
+func quoteOpens(s string, i int) bool {
+	if i == 0 {
+		return true
+	}
+	switch s[i-1] {
+	case ' ', '\t', '[', ',':
+		return true
+	}
+	return false
+}
+
+type parser struct {
+	lines []srcLine
+	pos   int
+}
+
+func (p *parser) peek() (srcLine, bool) {
+	if p.pos >= len(p.lines) {
+		return srcLine{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+// parseBlock parses one block (mapping or sequence) whose lines are
+// indented at least minIndent; the first line's indent fixes the block's
+// level. It stops at the first line indented shallower than the block.
+func (p *parser) parseBlock(minIndent int) (*Node, error) {
+	first, ok := p.peek()
+	if !ok || first.indent < minIndent {
+		return nil, errAt(lineAfter(p.lines, p.pos), "expected an indented block")
+	}
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.parseSequence(first.indent)
+	}
+	return p.parseMapping(first.indent)
+}
+
+// lineAfter reports the line number an expected-but-missing block would
+// have started on (for error messages at end of input).
+func lineAfter(lines []srcLine, pos int) int {
+	if pos < len(lines) {
+		return lines[pos].num
+	}
+	if len(lines) > 0 {
+		return lines[len(lines)-1].num + 1
+	}
+	return 1
+}
+
+func (p *parser) parseMapping(indent int) (*Node, error) {
+	node := &Node{Kind: MappingNode, Line: p.lines[p.pos].num}
+	seen := make(map[string]int)
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent < indent {
+			return node, nil
+		}
+		if l.indent > indent {
+			return nil, errAt(l.num, "unexpected indentation (%d spaces, block is at %d)", l.indent, indent)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, errAt(l.num, "sequence item in a mapping block")
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[key]; dup {
+			return nil, errAt(l.num, "duplicate key %q (first used on line %d)", key, prev)
+		}
+		seen[key] = l.num
+		p.pos++
+		var val *Node
+		if rest == "" {
+			next, ok := p.peek()
+			if !ok || next.indent <= indent {
+				return nil, errAt(l.num, "key %q has no value (use an indented block or an inline value)", key)
+			}
+			val, err = p.parseBlock(indent + 1)
+		} else {
+			val, err = parseValue(rest, l.num)
+		}
+		if err != nil {
+			return nil, err
+		}
+		node.Entries = append(node.Entries, MapEntry{Key: key, Line: l.num, Value: val})
+	}
+}
+
+func (p *parser) parseSequence(indent int) (*Node, error) {
+	node := &Node{Kind: SequenceNode, Line: p.lines[p.pos].num}
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent < indent {
+			return node, nil
+		}
+		if l.indent > indent {
+			return nil, errAt(l.num, "unexpected indentation (%d spaces, sequence is at %d)", l.indent, indent)
+		}
+		if !strings.HasPrefix(l.text, "- ") && l.text != "-" {
+			return nil, errAt(l.num, "expected a sequence item (\"- ...\") at this indentation")
+		}
+		var item *Node
+		var err error
+		switch rest := strings.TrimPrefix(strings.TrimPrefix(l.text, "-"), " "); {
+		case rest == "":
+			// "-" alone: the item is the following deeper-indented block.
+			p.pos++
+			item, err = p.parseBlock(indent + 1)
+		case isKeyLine(rest):
+			// "- key: value": a mapping item. The dash plus space occupy
+			// two columns, so continuation keys sit at indent+2; rewrite
+			// this line in place as the mapping's first line and let the
+			// mapping parser consume it and its continuations.
+			p.lines[p.pos] = srcLine{indent: indent + 2, text: rest, num: l.num}
+			item, err = p.parseMapping(indent + 2)
+		default:
+			p.pos++
+			item, err = parseValue(rest, l.num)
+		}
+		if err != nil {
+			return nil, err
+		}
+		node.Items = append(node.Items, item)
+	}
+}
+
+// splitKey splits "key: value" / "key:"; the key must be a plain
+// identifier ([A-Za-z0-9_-]+).
+func splitKey(l srcLine) (key, rest string, err error) {
+	i := strings.IndexByte(l.text, ':')
+	if i < 0 {
+		return "", "", errAt(l.num, "expected \"key: value\", got %q", l.text)
+	}
+	key = l.text[:i]
+	if !isPlainKey(key) {
+		return "", "", errAt(l.num, "invalid key %q (keys are [A-Za-z0-9_-]+)", key)
+	}
+	rest = strings.TrimLeft(l.text[i+1:], " ")
+	if rest == "" && len(l.text) > i+1 && !strings.HasPrefix(l.text[i+1:], " ") {
+		return "", "", errAt(l.num, "missing space after %q:", key)
+	}
+	return key, rest, nil
+}
+
+// isKeyLine reports whether a sequence item's inline content starts a
+// mapping ("key: value" or "key:").
+func isKeyLine(s string) bool {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 || !isPlainKey(s[:i]) {
+		return false
+	}
+	return i == len(s)-1 || s[i+1] == ' '
+}
+
+func isPlainKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseValue parses an inline value: a flow sequence "[a, b]" or a scalar.
+func parseValue(s string, line int) (*Node, error) {
+	if strings.HasPrefix(s, "[") {
+		return parseFlowSeq(s, line)
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, errAt(line, "flow mappings ({...}) are not part of the subset; use an indented block")
+	}
+	val, quoted, err := unquote(s, line)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{Kind: ScalarNode, Line: line, Value: val, Quoted: quoted}, nil
+}
+
+// parseFlowSeq parses "[a, b, c]" into a sequence of scalars.
+func parseFlowSeq(s string, line int) (*Node, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, errAt(line, "inline sequence %q does not end with ']'", s)
+	}
+	node := &Node{Kind: SequenceNode, Line: line}
+	body := s[1 : len(s)-1]
+	if strings.TrimSpace(body) == "" {
+		return node, nil
+	}
+	items, err := splitFlowItems(body, line)
+	if err != nil {
+		return nil, err
+	}
+	for _, item := range items {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return nil, errAt(line, "empty item in inline sequence %q", s)
+		}
+		if strings.HasPrefix(item, "[") || strings.HasPrefix(item, "{") {
+			return nil, errAt(line, "nested inline collections are not part of the subset")
+		}
+		val, quoted, err := unquote(item, line)
+		if err != nil {
+			return nil, err
+		}
+		node.Items = append(node.Items, &Node{Kind: ScalarNode, Line: line, Value: val, Quoted: quoted})
+	}
+	return node, nil
+}
+
+// splitFlowItems splits an inline-sequence body on commas outside quotes.
+func splitFlowItems(body string, line int) ([]string, error) {
+	var items []string
+	var quote byte
+	start := 0
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case quote != 0:
+			if c == '\\' && quote == '"' {
+				i++
+			} else if c == quote {
+				quote = 0
+			}
+		case (c == '\'' || c == '"') && quoteOpens(body, i):
+			quote = c
+		case c == ',':
+			items = append(items, body[start:i])
+			start = i + 1
+		}
+	}
+	if quote != 0 {
+		return nil, errAt(line, "unterminated %q-quoted string in inline sequence", string(quote))
+	}
+	return append(items, body[start:]), nil
+}
+
+// unquote strips surrounding quotes and processes double-quote escapes.
+func unquote(s string, line int) (val string, quoted bool, err error) {
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return s[1 : len(s)-1], true, nil
+	}
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		var b strings.Builder
+		body := s[1 : len(s)-1]
+		for i := 0; i < len(body); i++ {
+			c := body[i]
+			if c != '\\' {
+				b.WriteByte(c)
+				continue
+			}
+			i++
+			if i >= len(body) {
+				return "", false, errAt(line, "dangling escape at end of %q", s)
+			}
+			switch body[i] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			default:
+				return "", false, errAt(line, "unsupported escape \\%c (subset allows \\\" \\\\ \\n \\t \\r)", body[i])
+			}
+		}
+		return b.String(), true, nil
+	}
+	if strings.HasPrefix(s, "'") || strings.HasPrefix(s, "\"") {
+		return "", false, errAt(line, "unterminated quoted scalar %q", s)
+	}
+	return s, false, nil
+}

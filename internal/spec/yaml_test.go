@@ -1,0 +1,168 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Node {
+	t.Helper()
+	n, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return n
+}
+
+func wantErr(t *testing.T, src, substr string) *Error {
+	t.Helper()
+	_, err := Parse([]byte(src))
+	if err == nil {
+		t.Fatalf("Parse(%q): expected an error containing %q, got nil", src, substr)
+	}
+	se, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("Parse(%q): error is %T, want *Error", src, err)
+	}
+	if !strings.Contains(se.Error(), substr) {
+		t.Fatalf("Parse(%q): error %q does not contain %q", src, se.Error(), substr)
+	}
+	return se
+}
+
+func TestParseMappingTree(t *testing.T) {
+	n := mustParse(t, `
+name: demo           # trailing comment
+scenario:
+  anomaly: incast
+  nested:
+    deep: 42
+`)
+	if got := n.Get("name").Value; got != "demo" {
+		t.Fatalf("name = %q, want demo", got)
+	}
+	sc := n.Get("scenario")
+	if sc.Kind != MappingNode || sc.Line != 4 {
+		t.Fatalf("scenario kind=%v line=%d, want mapping starting at line 4", sc.Kind, sc.Line)
+	}
+	if got := sc.Get("nested").Get("deep").Value; got != "42" {
+		t.Fatalf("deep = %q, want 42", got)
+	}
+	if got := sc.Get("anomaly").Line; got != 4 {
+		t.Fatalf("anomaly line = %d, want 4", got)
+	}
+}
+
+func TestParseSequences(t *testing.T) {
+	n := mustParse(t, `
+seeds:
+  - 1
+  - 2
+inline: [3, 4, 5]
+empty: []
+flows:
+  - src: 8
+    dst: 3
+  - src: 12
+    dst: 0
+`)
+	seeds := n.Get("seeds")
+	if seeds.Kind != SequenceNode || len(seeds.Items) != 2 || seeds.Items[1].Value != "2" {
+		t.Fatalf("block sequence mis-parsed: %+v", seeds)
+	}
+	inline := n.Get("inline")
+	if len(inline.Items) != 3 || inline.Items[2].Value != "5" {
+		t.Fatalf("inline sequence mis-parsed: %+v", inline)
+	}
+	if got := len(n.Get("empty").Items); got != 0 {
+		t.Fatalf("empty inline sequence has %d items", got)
+	}
+	flows := n.Get("flows")
+	if len(flows.Items) != 2 {
+		t.Fatalf("flows has %d items, want 2", len(flows.Items))
+	}
+	first := flows.Items[0]
+	if first.Kind != MappingNode || first.Get("src").Value != "8" || first.Get("dst").Value != "3" {
+		t.Fatalf("mapping sequence item mis-parsed: %+v", first)
+	}
+	if got := flows.Items[1].Get("src").Line; got != 10 {
+		t.Fatalf("second item src line = %d, want 10", got)
+	}
+}
+
+func TestParseDashAloneItem(t *testing.T) {
+	n := mustParse(t, "flows:\n  -\n    src: 1\n    dst: 2\n")
+	item := n.Get("flows").Items[0]
+	if item.Kind != MappingNode || item.Get("dst").Value != "2" {
+		t.Fatalf("dash-alone item mis-parsed: %+v", item)
+	}
+}
+
+func TestParseScalars(t *testing.T) {
+	n := mustParse(t, `
+plain: hello world
+single: 'kept # not a comment'
+double: "a\nb\t\"c\""
+number: 3.5
+hashless: "x#y"
+`)
+	cases := map[string]string{
+		"plain":    "hello world",
+		"single":   "kept # not a comment",
+		"double":   "a\nb\t\"c\"",
+		"number":   "3.5",
+		"hashless": "x#y",
+	}
+	for key, want := range cases {
+		if got := n.Get(key).Value; got != want {
+			t.Errorf("%s = %q, want %q", key, got, want)
+		}
+	}
+	if !n.Get("single").Quoted || n.Get("plain").Quoted {
+		t.Fatal("Quoted flags wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+		line            int
+	}{
+		{"tab indent", "a: 1\n\tb: 2\n", "tab in indentation", 2},
+		{"duplicate key", "a: 1\na: 2\n", `duplicate key "a"`, 2},
+		{"dup reports first use", "a: 1\nb: 2\na: 3\n", "first used on line 1", 3},
+		{"missing value", "a:\nb: 2\n", `key "a" has no value`, 1},
+		{"bad key", "a b: 1\n", `invalid key "a b"`, 1},
+		{"no colon", "just words\n", "expected \"key: value\"", 1},
+		{"over-indent", "a: 1\n   b: 2\n", "unexpected indentation", 2},
+		{"seq in mapping", "a: 1\n- b\n", "sequence item in a mapping block", 2},
+		{"mapping in seq", "a:\n  - 1\n  b: 2\n", "expected a sequence item", 3},
+		{"unterminated quote", "a: 'oops\n", "unterminated", 1},
+		{"unterminated inline", "a: [1, 2\n", "does not end with ']'", 1},
+		{"nested inline", "a: [[1], 2]\n", "nested inline collections", 1},
+		{"flow mapping", "a: {b: 1}\n", "flow mappings", 1},
+		{"bad escape", `a: "\q"` + "\n", `unsupported escape \q`, 1},
+		{"root sequence", "- a\n- b\n", "document root must be a mapping", 1},
+		{"content after root", "  a: 1\nb: 2\n", "unexpected content", 2},
+		{"empty doc", "# only a comment\n\n", "empty document", 0},
+		{"empty inline item", "a: [1, , 2]\n", "empty item", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			se := wantErr(t, tc.src, tc.want)
+			if se.Line != tc.line {
+				t.Fatalf("error line = %d, want %d (err: %v)", se.Line, tc.line, se)
+			}
+		})
+	}
+}
+
+func TestParseCRLFAndComments(t *testing.T) {
+	n := mustParse(t, "# header\r\na: 1\r\n\r\n  # indented comment\r\nb: 2\r\n")
+	if n.Get("a").Value != "1" || n.Get("b").Value != "2" {
+		t.Fatalf("CRLF document mis-parsed: %+v", n)
+	}
+	if got := n.Get("b").Line; got != 5 {
+		t.Fatalf("b line = %d, want 5", got)
+	}
+}

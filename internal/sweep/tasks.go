@@ -1,0 +1,41 @@
+package sweep
+
+import "sync"
+
+// RunTasks fans n independent tasks out over a bounded worker pool and
+// returns their results in task order. Each worker writes only its own
+// pre-sized slot, so the merged output is byte-identical at any worker
+// count — the same determinism contract as Run, for callers (cmd/vedrtest)
+// whose work items are not scenario jobs. workers < 1 runs sequentially.
+func RunTasks[T any](n, workers int, run func(int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = run(i)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = run(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

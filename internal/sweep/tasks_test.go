@@ -1,0 +1,39 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunTasksOrderAndCompleteness(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 64} {
+		got := RunTasks(17, workers, func(i int) int { return i * i })
+		if len(got) != 17 {
+			t.Fatalf("workers=%d: %d results, want 17", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunTasksEmpty(t *testing.T) {
+	if got := RunTasks(0, 4, func(i int) int { return i }); got != nil {
+		t.Fatalf("RunTasks(0) = %v, want nil", got)
+	}
+}
+
+func TestRunTasksRunsEachOnce(t *testing.T) {
+	var calls [40]atomic.Int32
+	RunTasks(40, 8, func(i int) struct{} {
+		calls[i].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Fatalf("task %d ran %d times", i, n)
+		}
+	}
+}

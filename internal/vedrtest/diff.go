@@ -1,0 +1,172 @@
+package vedrtest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FailureDiff renders a unified diff of the report's expected vs. actual
+// assertion values: passing checks appear as context, failing checks as
+// -want/+got pairs, so a corpus failure reads like a test diff in CI logs.
+// Returns "" when nothing failed.
+func FailureDiff(r *Report) string {
+	var want, got []string
+	add := func(prefix string, checks []Check) {
+		for _, c := range checks {
+			want = append(want, prefix+c.Field+" = "+c.Want)
+			if c.OK {
+				got = append(got, prefix+c.Field+" = "+c.Want)
+			} else {
+				got = append(got, prefix+c.Field+" = "+c.Got)
+			}
+		}
+	}
+	for _, cs := range r.Cases {
+		prefix := ""
+		if len(r.Cases) > 1 {
+			prefix = fmt.Sprintf("seed[%d].", cs.Seed)
+		}
+		add(prefix, cs.Checks)
+	}
+	add("", r.Aggregate)
+	return UnifiedDiff(want, got, 3)
+}
+
+// UnifiedDiff computes a unified diff (3-way hunk format, no file header)
+// between two line slices with the given context radius. Returns "" when
+// the inputs are equal.
+func UnifiedDiff(a, b []string, ctx int) string {
+	ops := diffOps(a, b)
+	changed := false
+	for _, op := range ops {
+		if op.kind != opEqual {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return ""
+	}
+
+	var sb strings.Builder
+	// Group ops into hunks: runs of changes padded by up to ctx equal
+	// lines, merging hunks whose gaps are <= 2*ctx.
+	type hunk struct{ start, end int } // op index range
+	var hunks []hunk
+	for i := 0; i < len(ops); i++ {
+		if ops[i].kind == opEqual {
+			continue
+		}
+		j := i
+		for j+1 < len(ops) {
+			// Extend through the next change if the equal gap is small.
+			k := j + 1
+			for k < len(ops) && ops[k].kind == opEqual {
+				k++
+			}
+			if k < len(ops) && k-j-1 <= 2*ctx {
+				j = k
+				continue
+			}
+			break
+		}
+		hunks = append(hunks, hunk{start: i, end: j})
+		i = j
+	}
+
+	for _, h := range hunks {
+		start := h.start
+		for n := 0; n < ctx && start > 0 && ops[start-1].kind == opEqual; n++ {
+			start--
+		}
+		end := h.end
+		for n := 0; n < ctx && end+1 < len(ops) && ops[end+1].kind == opEqual; n++ {
+			end++
+		}
+		aStart, bStart := ops[start].aIdx+1, ops[start].bIdx+1
+		var aLen, bLen int
+		for _, op := range ops[start : end+1] {
+			switch op.kind {
+			case opEqual:
+				aLen++
+				bLen++
+			case opDelete:
+				aLen++
+			case opInsert:
+				bLen++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart, aLen, bStart, bLen)
+		for _, op := range ops[start : end+1] {
+			switch op.kind {
+			case opEqual:
+				sb.WriteString(" " + op.text + "\n")
+			case opDelete:
+				sb.WriteString("-" + op.text + "\n")
+			case opInsert:
+				sb.WriteString("+" + op.text + "\n")
+			}
+		}
+	}
+	return sb.String()
+}
+
+type opKind uint8
+
+const (
+	opEqual opKind = iota
+	opDelete
+	opInsert
+)
+
+type diffOp struct {
+	kind opKind
+	text string
+	// aIdx/bIdx are the op's positions in a and b (for deletes, bIdx is
+	// the insertion point, and vice versa).
+	aIdx, bIdx int
+}
+
+// diffOps computes an LCS edit script between a and b.
+func diffOps(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	// lcs[i][j] = LCS length of a[i:], b[j:].
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{kind: opEqual, text: a[i], aIdx: i, bIdx: j})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{kind: opDelete, text: a[i], aIdx: i, bIdx: j})
+			i++
+		default:
+			ops = append(ops, diffOp{kind: opInsert, text: b[j], aIdx: i, bIdx: j})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{kind: opDelete, text: a[i], aIdx: i, bIdx: j})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{kind: opInsert, text: b[j], aIdx: i, bIdx: j})
+	}
+	return ops
+}

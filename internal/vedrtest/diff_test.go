@@ -1,0 +1,62 @@
+package vedrtest
+
+import "testing"
+
+func TestUnifiedDiffEqual(t *testing.T) {
+	lines := []string{"a", "b", "c"}
+	if d := UnifiedDiff(lines, lines, 3); d != "" {
+		t.Fatalf("diff of equal inputs = %q", d)
+	}
+	if d := UnifiedDiff(nil, nil, 3); d != "" {
+		t.Fatalf("diff of empty inputs = %q", d)
+	}
+}
+
+func TestUnifiedDiffReplace(t *testing.T) {
+	a := []string{"one", "two", "three", "four"}
+	b := []string{"one", "TWO", "three", "four"}
+	want := "@@ -1,4 +1,4 @@\n one\n-two\n+TWO\n three\n four\n"
+	if got := UnifiedDiff(a, b, 3); got != want {
+		t.Fatalf("diff = %q, want %q", got, want)
+	}
+}
+
+func TestUnifiedDiffInsertDelete(t *testing.T) {
+	a := []string{"x", "y"}
+	b := []string{"x", "mid", "y"}
+	want := "@@ -1,2 +1,3 @@\n x\n+mid\n y\n"
+	if got := UnifiedDiff(a, b, 3); got != want {
+		t.Fatalf("insert diff = %q, want %q", got, want)
+	}
+	want = "@@ -1,3 +1,2 @@\n x\n-mid\n y\n"
+	if got := UnifiedDiff(b, a, 3); got != want {
+		t.Fatalf("delete diff = %q, want %q", got, want)
+	}
+}
+
+func TestUnifiedDiffSplitsDistantHunks(t *testing.T) {
+	a := make([]string, 20)
+	b := make([]string, 20)
+	for i := range a {
+		a[i] = string(rune('a' + i))
+		b[i] = a[i]
+	}
+	b[1] = "CHANGED-1"
+	b[18] = "CHANGED-18"
+	got := UnifiedDiff(a, b, 1)
+	want := "@@ -1,3 +1,3 @@\n a\n-b\n+CHANGED-1\n c\n" +
+		"@@ -18,3 +18,3 @@\n r\n-s\n+CHANGED-18\n t\n"
+	if got != want {
+		t.Fatalf("two-hunk diff = %q, want %q", got, want)
+	}
+}
+
+func TestUnifiedDiffMergesNearbyHunks(t *testing.T) {
+	a := []string{"1", "2", "3", "4", "5"}
+	b := []string{"1", "X", "3", "Y", "5"}
+	got := UnifiedDiff(a, b, 1)
+	want := "@@ -1,5 +1,5 @@\n 1\n-2\n+X\n 3\n-4\n+Y\n 5\n"
+	if got != want {
+		t.Fatalf("merged diff = %q, want %q", got, want)
+	}
+}

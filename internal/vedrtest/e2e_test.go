@@ -1,0 +1,43 @@
+package vedrtest
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestAnalyzerdSpecEndToEnd runs the corpus's crash-recovery spec for real:
+// a vedranalyzerd subprocess is fed the replay over the seq/ack client,
+// SIGKILLed mid-stream, restarted on the same WAL directory, and its
+// drained diagnosis compared byte-for-byte with the local bundle analysis.
+func TestAnalyzerdSpecEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and crash-tests a real daemon; skipped with -short")
+	}
+	rep := (&Runner{}).RunFile(filepath.Join(corpusDir, "analyzerd_crash_recovery.yaml"))
+	if rep.LoadFailed {
+		t.Fatalf("spec failed to load: %s", rep.Err)
+	}
+	if rep.Mode != "analyzerd" {
+		t.Fatalf("mode = %q, want analyzerd", rep.Mode)
+	}
+	if rep.Failed() {
+		t.Fatalf("end-to-end spec failed:\n%s", FailureDiff(rep))
+	}
+
+	seen := map[string]bool{}
+	for _, cs := range rep.Cases {
+		for _, c := range cs.Checks {
+			seen[c.Field] = true
+		}
+	}
+	for _, field := range []string{
+		"analyzerd.crash-recovery",
+		"analyzerd.ingested",
+		"analyzerd.diagnosis-parity",
+		"analyzerd.outcome",
+	} {
+		if !seen[field] {
+			t.Errorf("end-to-end run emitted no %q check", field)
+		}
+	}
+}

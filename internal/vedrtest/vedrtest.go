@@ -1,0 +1,272 @@
+// Package vedrtest executes declarative scenario specs (internal/spec) and
+// diffs the resulting diagnosis against the spec's expectations. It is the
+// conformance-corpus runner behind cmd/vedrtest: a spec compiles into the
+// same scenario.Config/RunOptions the Go-coded experiments use, runs
+// in-process (deterministically, sim-time only), and — in analyzerd mode —
+// additionally replays the run's records, reports, and collective flows
+// end-to-end through a real vedranalyzerd process over the seq/ack
+// ReliableClient, optionally SIGKILLing and restarting the daemon
+// mid-stream to prove the assertions survive crash recovery.
+//
+// Every run is traced through an obs scope; when a spec fails, the runner
+// writes the trace and a structured JSON report next to the corpus so a CI
+// failure is debuggable from artifacts alone.
+package vedrtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/obs"
+	"vedrfolnir/internal/scenario"
+	"vedrfolnir/internal/simtime"
+	"vedrfolnir/internal/spec"
+	"vedrfolnir/internal/topo"
+)
+
+// Check is one evaluated assertion: a field name, the expected value, what
+// the run actually produced, and the verdict. Want and Got are rendered
+// strings so reports serialize losslessly and diff cleanly.
+type Check struct {
+	Field string `json:"field"`
+	Want  string `json:"want"`
+	Got   string `json:"got"`
+	OK    bool   `json:"ok"`
+}
+
+// CaseReport is one seed's evaluation.
+type CaseReport struct {
+	Seed    int64   `json:"seed"`
+	Outcome string  `json:"outcome"`
+	Checks  []Check `json:"checks"`
+}
+
+// Report is one spec file's full result.
+type Report struct {
+	File string `json:"file"`
+	Name string `json:"name"`
+	Mode string `json:"mode"`
+
+	// Err is a load/validation/execution error; when set, no checks ran.
+	Err string `json:"err,omitempty"`
+	// LoadFailed distinguishes a spec that could not even be parsed or
+	// validated (CLI exit 2) from one whose assertions failed (exit 1).
+	LoadFailed bool `json:"load_failed,omitempty"`
+
+	Cases []CaseReport `json:"cases,omitempty"`
+	// Aggregate holds the spec-level checks (precision/recall over a
+	// seeds list).
+	Aggregate []Check `json:"aggregate,omitempty"`
+
+	// Failure artifacts (written only when the spec failed and the runner
+	// has an artifacts directory).
+	TracePath  string `json:"trace_path,omitempty"`
+	ReportPath string `json:"report_path,omitempty"`
+}
+
+// Failed reports whether the spec failed (an error or any failed check).
+func (r *Report) Failed() bool {
+	if r.Err != "" {
+		return true
+	}
+	for _, c := range r.Aggregate {
+		if !c.OK {
+			return true
+		}
+	}
+	for _, cs := range r.Cases {
+		for _, c := range cs.Checks {
+			if !c.OK {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Counts returns the total and failed check counts.
+func (r *Report) Counts() (total, failed int) {
+	count := func(checks []Check) {
+		for _, c := range checks {
+			total++
+			if !c.OK {
+				failed++
+			}
+		}
+	}
+	count(r.Aggregate)
+	for _, cs := range r.Cases {
+		count(cs.Checks)
+	}
+	return total, failed
+}
+
+// Runner executes spec files.
+type Runner struct {
+	// ForceInProcess downgrades analyzerd-mode specs to in-process
+	// execution (what the CI -race corpus step uses).
+	ForceInProcess bool
+	// AnalyzerdPath is a prebuilt vedranalyzerd binary for end-to-end
+	// specs; empty builds one on demand (cached per Runner).
+	AnalyzerdPath string
+	// ArtifactsDir receives failure artifacts (obs trace + JSON report);
+	// empty disables artifact writing.
+	ArtifactsDir string
+
+	daemon daemonBuild
+}
+
+// RunFile loads and executes one spec file, returning its report. All
+// failures are captured in the report; RunFile itself never panics on a
+// bad spec.
+func (r *Runner) RunFile(path string) *Report {
+	rep := &Report{
+		File: path,
+		Name: strings.TrimSuffix(filepath.Base(path), filepath.Ext(path)),
+		Mode: spec.InProcess.String(),
+	}
+	sp, err := spec.Load(path)
+	if err != nil {
+		rep.Err = err.Error()
+		rep.LoadFailed = true
+		return rep
+	}
+	if sp.Name != "" {
+		rep.Name = sp.Name
+	}
+	mode := sp.Mode
+	if r.ForceInProcess {
+		mode = spec.InProcess
+	}
+	rep.Mode = mode.String()
+
+	scope := &obs.Scope{Trace: obs.NewTracer()}
+	r.execute(sp, mode, scope, rep)
+	if rep.Failed() {
+		r.writeArtifacts(rep, scope)
+	}
+	return rep
+}
+
+// execute compiles and runs the spec's cases, filling in the report.
+func (r *Runner) execute(sp *spec.Spec, mode spec.Mode, scope *obs.Scope, rep *Report) {
+	cfg, opts, err := Compile(sp)
+	if err != nil {
+		rep.Err = err.Error()
+		return
+	}
+	opts.Obs = scope
+
+	var metrics scenario.Metrics
+	for _, seed := range sp.Scenario.Seeds {
+		cs, err := scenario.GenerateCase(sp.Scenario.Anomaly, seed, cfg)
+		if err != nil {
+			rep.Err = fmt.Sprintf("seed %d: %v", seed, err)
+			return
+		}
+		if len(sp.Scenario.Flows) > 0 {
+			cs.Flows = compileFlows(sp.Scenario.Flows, cfg)
+		}
+		res, err := runCase(cs, sp.Scenario.System, cfg, opts)
+		if err != nil {
+			rep.Err = fmt.Sprintf("seed %d: %v", seed, err)
+			return
+		}
+		metrics.Add(res.Outcome)
+		cr := CaseReport{Seed: seed, Outcome: res.Outcome.String()}
+		cr.Checks = caseChecks(sp, cs, res)
+		if mode == spec.Analyzerd {
+			cr.Checks = append(cr.Checks, r.runAnalyzerd(sp, cs, res)...)
+		}
+		rep.Cases = append(rep.Cases, cr)
+	}
+	rep.Aggregate = aggregateChecks(sp, metrics)
+}
+
+// runCase executes one case, converting a panic anywhere in the simulation
+// stack into a captured error so one broken case cannot take down a corpus
+// run.
+func runCase(cs scenario.Case, system scenario.SystemKind, cfg scenario.Config, opts scenario.RunOptions) (res scenario.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	return scenario.Run(cs, system, cfg, opts)
+}
+
+// Compile translates a validated spec into the scenario configuration and
+// run options the Go-coded experiments use.
+func Compile(sp *spec.Spec) (scenario.Config, scenario.RunOptions, error) {
+	s := sp.Scenario
+	cfg := scenario.ConfigForScale(s.ScaleDen)
+	cfg.Ranks = s.Ranks
+	cfg.Op = s.Op
+	cfg.Alg = s.Alg
+
+	opts := scenario.DefaultRunOptions(cfg)
+	p := sp.Params
+	if p.RTTFactor != 0 {
+		opts.Monitor.RTTFactor = p.RTTFactor
+	}
+	if p.MaxDetectPerStep != 0 {
+		opts.Monitor.MaxDetectPerStep = p.MaxDetectPerStep
+	}
+	if p.FixedRTTThreshold != 0 {
+		opts.Monitor.FixedRTTThreshold = p.FixedRTTThreshold
+	}
+	if p.Unrestricted {
+		opts.Monitor.Unrestricted = true
+	}
+	opts.Chaos = sp.Chaos
+	return cfg, opts, nil
+}
+
+// compileFlows converts the spec's explicit flow timeline into injected
+// flows, using the same 5-tuple construction, byte scaling, and time
+// scaling as the seeded case generator.
+func compileFlows(flows []spec.Flow, cfg scenario.Config) []scenario.InjectedFlow {
+	out := make([]scenario.InjectedFlow, 0, len(flows))
+	for i, f := range flows {
+		out = append(out, scenario.InjectedFlow{
+			Key: fabric.FlowKey{
+				Src:     topo.NodeID(f.Src),
+				Dst:     topo.NodeID(f.Dst),
+				SrcPort: uint16(9000 + 10*i),
+				DstPort: uint16(9001 + 10*i),
+				Proto:   17,
+			},
+			Bytes:   cfg.ScaledBytes(f.MB * 1e6),
+			StartAt: simtime.Time(f.StartMS * 1e6 * cfg.Scale),
+		})
+	}
+	return out
+}
+
+// writeArtifacts persists the failure trace and the structured report.
+func (r *Runner) writeArtifacts(rep *Report, scope *obs.Scope) {
+	if r.ArtifactsDir == "" {
+		return
+	}
+	if err := os.MkdirAll(r.ArtifactsDir, 0o755); err != nil {
+		return
+	}
+	if scope.T().Len() > 0 {
+		tp := filepath.Join(r.ArtifactsDir, rep.Name+".trace.json")
+		if err := scope.T().WriteFile(tp); err == nil {
+			rep.TracePath = tp
+		}
+	}
+	pp := filepath.Join(r.ArtifactsDir, rep.Name+".report.json")
+	data, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		return
+	}
+	if err := os.WriteFile(pp, append(data, '\n'), 0o644); err == nil {
+		rep.ReportPath = pp
+	}
+}

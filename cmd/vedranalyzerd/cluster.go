@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vedrfolnir/internal/fleet"
+	"vedrfolnir/internal/obs"
+	"vedrfolnir/internal/wire"
+)
+
+// clusterOpts carries the -cluster subset of the daemon flags into the
+// fleet runner.
+type clusterOpts struct {
+	listen        string
+	after         time.Duration
+	asJSON        bool
+	shards        int
+	replicas      int
+	holdShard     int
+	walDir        string
+	fsyncMode     string
+	snapshotEvery int
+	obsListen     string
+	verbose       bool
+}
+
+// runCluster is the -cluster entrypoint: it spawns this same binary as N
+// supervised shard children, fronts them with the consistent-hash router,
+// and on drain gathers every shard's state into one merged diagnosis —
+// printed in exactly the format of a standalone run, so harnesses that
+// diff daemon output need not know a fleet produced it. Per-shard
+// announce lines go to stdout with a "shard " prefix so those same
+// harnesses can filter them (and chaos drivers can read the pids).
+func runCluster(o clusterOpts) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
+		return 1
+	}
+	var log *slog.Logger
+	if o.verbose {
+		log = obs.NewLogger(os.Stderr, slog.LevelDebug, nil)
+	}
+	var reg *obs.Registry
+	if o.obsListen != "" {
+		reg = obs.NewRegistry()
+	}
+	f, err := fleet.Start(fleet.Config{
+		BinPath:       exe,
+		Shards:        o.shards,
+		Replicas:      o.replicas,
+		Dir:           o.walDir,
+		Fsync:         o.fsyncMode,
+		SnapshotEvery: o.snapshotEvery,
+		Listen:        o.listen,
+		HoldShard:     o.holdShard,
+		OnShard: func(i int, addr string, pid int) {
+			fmt.Printf("shard %d listening on %s (pid %d)\n", i, addr, pid)
+		},
+		Stderr:  os.Stderr,
+		Log:     log,
+		Metrics: reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
+		return 1
+	}
+	// Arm the drain trigger before announcing readiness, same as run():
+	// a client may read the announce line and SIGTERM us immediately.
+	done := make(chan struct{})
+	if o.after > 0 {
+		go func() {
+			//lint:ignore nosystime operator-requested wall-clock run duration
+			time.Sleep(o.after)
+			close(done)
+		}()
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			close(done)
+		}()
+	}
+	fmt.Println("analyzer listening on", f.Addr())
+
+	if o.obsListen != "" {
+		reg.PublishExpvar("vedranalyzerd")
+		ln, err := net.Listen("tcp", o.obsListen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
+			f.Close()
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "vedranalyzerd: obs on http://%s/metrics\n", ln.Addr())
+		mux := obs.Mux(reg)
+		obs.HandleHealth(mux, nil, f.Ready)
+		go http.Serve(ln, mux)
+	}
+
+	<-done
+
+	router := f.Router()
+	merged, err := f.Drain(nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
+		return 1
+	}
+	fmt.Printf("ingested: %d step records, %d reports, %d collective flows\n",
+		merged.Stats.Records, merged.Stats.Reports, merged.Stats.CFs)
+	st := router.Stats()
+	if st.Rejected != 0 {
+		fmt.Printf("shrugged off: %d rejected lines\n", st.Rejected)
+	}
+	if st.ShardDown != 0 {
+		fmt.Printf("backpressure: %d shard-down retries\n", st.ShardDown)
+	}
+	if merged.Degraded() {
+		fmt.Fprintf(os.Stderr,
+			"vedranalyzerd: degraded: shards %v unreachable; diagnosis missing >= %d records, %d reports, %d flows\n",
+			merged.Missing, merged.MissedRecords, merged.MissedReports, merged.MissedCFs)
+	}
+	if o.asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(wire.FromDiagnosis(merged.Diagnosis)); err != nil {
+			fmt.Fprintln(os.Stderr, "vedranalyzerd:", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Print(merged.Diagnosis.Summary())
+	return 0
+}

@@ -11,7 +11,9 @@
 //	              [-read-timeout 2m] [-max-line 16777216]
 //	              [-wal-dir DIR] [-fsync always|interval|off]
 //	              [-snapshot-every N] [-queue N] [-rate R] [-burst N]
-//	vedranalyzerd supervise [-backoff 200ms] [-crash-loops 5] -- <daemon flags>
+//	vedranalyzerd -cluster N [-shard-replicas R] [-hold-shard I] [...]
+//	vedranalyzerd supervise [-backoff 200ms] [-crash-loops 5]
+//	              [-healthy-after 30s] -- <daemon flags>
 //
 // The service is hardened against misbehaving agents: -read-timeout drops
 // a connection that stops delivering bytes, -max-line caps one protocol
@@ -41,12 +43,12 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"os/exec"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"vedrfolnir/internal/analyzerd"
+	"vedrfolnir/internal/fleet"
 	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/wire"
 )
@@ -86,10 +88,41 @@ func run() int {
 	obsListen := flag.String("obs-listen", "",
 		"serve live /metrics, /healthz, /readyz, /debug/vars and /debug/pprof on this address")
 	verbose := flag.Bool("v", false, "log connection and ingest events on stderr")
+	cluster := flag.Int("cluster", 0,
+		"run as a fleet: N supervised shard children behind a consistent-hash router")
+	shardReplicas := flag.Int("shard-replicas", 0,
+		"consistent-hash virtual nodes per shard (0 = default)")
+	holdShard := flag.Int("hold-shard", -1,
+		"with -cluster: hold this shard down at drain time and report a degraded diagnosis")
+	shardIndex := flag.Int("shard-index", -1,
+		"run as shard I of a fleet (internal; spawned by -cluster)")
+	shardCount := flag.Int("shard-count", 0,
+		"fleet width for -shard-index (internal; spawned by -cluster)")
 	flag.Parse()
 
+	if *cluster > 0 {
+		return runCluster(clusterOpts{
+			listen:        *listen,
+			after:         *after,
+			asJSON:        *asJSON,
+			shards:        *cluster,
+			replicas:      *shardReplicas,
+			holdShard:     *holdShard,
+			walDir:        *walDir,
+			fsyncMode:     *fsyncMode,
+			snapshotEvery: *snapshotEvery,
+			obsListen:     *obsListen,
+			verbose:       *verbose,
+		})
+	}
 	if *verbose {
 		scfg.Log = obs.NewLogger(os.Stderr, slog.LevelDebug, nil)
+	}
+	if *shardCount > 0 {
+		scfg.Shard = &analyzerd.ShardConfig{
+			Map:   wire.ShardMap{Shards: *shardCount, Replicas: *shardReplicas},
+			Index: *shardIndex,
+		}
 	}
 	if *walDir != "" {
 		policy, err := analyzerd.ParseFsyncPolicy(*fsyncMode)
@@ -181,11 +214,13 @@ func run() int {
 	return 0
 }
 
-// supervise re-runs this binary as a child daemon, restarting it with
-// exponential backoff when it dies, until it exits cleanly (0), the
-// supervisor itself is signalled (the signal is forwarded and the child's
-// verdict passed through), or too many consecutive short-lived runs
-// trip the crash-loop detector.
+// supervise re-runs this binary as a child daemon under fleet.Proc's
+// restart-with-backoff loop: a clean exit (0) ends supervision, a crash
+// restarts the daemon, a forwarded signal passes the child's verdict
+// through, and too many consecutive short-lived runs is declared a crash
+// loop. The crash-loop counter forgives earlier crashes only once a child
+// has stayed up for -healthy-after — a daemon that limps past the crash
+// window but keeps dying is still a crash loop, not a healthy service.
 func supervise(argv []string) int {
 	fs := flag.NewFlagSet("supervise", flag.ExitOnError)
 	backoff := fs.Duration("backoff", 200*time.Millisecond, "first restart delay; doubles per crash")
@@ -193,6 +228,8 @@ func supervise(argv []string) int {
 	crashWindow := fs.Duration("crash-window", 2*time.Second,
 		"a child living shorter than this counts toward the crash loop")
 	crashLoops := fs.Int("crash-loops", 5, "give up after this many consecutive short-lived crashes")
+	healthyAfter := fs.Duration("healthy-after", 30*time.Second,
+		"a child must live this long before earlier crashes are forgiven")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: vedranalyzerd supervise [flags] -- <daemon flags>")
 		fs.PrintDefaults()
@@ -205,63 +242,32 @@ func supervise(argv []string) int {
 		fmt.Fprintln(os.Stderr, "vedranalyzerd: supervise:", err)
 		return 1
 	}
+	p, err := fleet.StartProc(fleet.ProcConfig{
+		Path:           exe,
+		Args:           childArgs,
+		AnnouncePrefix: "analyzer listening on ",
+		RelistenFlag:   "-listen",
+		Backoff:        *backoff,
+		BackoffMax:     *backoffMax,
+		CrashWindow:    *crashWindow,
+		CrashLoops:     *crashLoops,
+		HealthyAfter:   *healthyAfter,
+		Stdout:         os.Stdout,
+		Stderr:         os.Stderr,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "vedranalyzerd: supervise: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vedranalyzerd: supervise:", err)
+		return 1
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-
-	consecutive := 0
-	delay := *backoff
-	for {
-		start := time.Now()
-		cmd := exec.Command(exe, childArgs...)
-		cmd.Stdout = os.Stdout
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			fmt.Fprintln(os.Stderr, "vedranalyzerd: supervise:", err)
-			return 1
-		}
-		waitErr := make(chan error, 1)
-		go func() { waitErr <- cmd.Wait() }()
-		var werr error
-		select {
-		case s := <-sig:
-			// Forward the signal so the child drains gracefully, then pass
-			// its exit code through; supervision ends with the operator's
-			// intent, not a restart.
-			if err := cmd.Process.Signal(s); err != nil {
-				fmt.Fprintln(os.Stderr, "vedranalyzerd: supervise: forwarding signal:", err)
-			}
-			werr = <-waitErr
-			if werr == nil {
-				return 0
-			}
-			if ee, ok := werr.(*exec.ExitError); ok {
-				return ee.ExitCode()
-			}
-			return 1
-		case werr = <-waitErr:
-		}
-		lived := time.Since(start)
-		if werr == nil {
-			return 0 // clean exit: the daemon drained and is done
-		}
-		if lived < *crashWindow {
-			consecutive++
-			if consecutive >= *crashLoops {
-				fmt.Fprintf(os.Stderr,
-					"vedranalyzerd: supervise: crash loop: %d consecutive exits within %s; giving up\n",
-					consecutive, *crashWindow)
-				return 1
-			}
-		} else {
-			consecutive = 0
-			delay = *backoff
-		}
-		fmt.Fprintf(os.Stderr, "vedranalyzerd: supervise: child exited (%v) after %s; restarting in %s\n",
-			werr, lived.Round(time.Millisecond), delay)
-		time.Sleep(delay)
-		delay *= 2
-		if delay > *backoffMax {
-			delay = *backoffMax
-		}
-	}
+	go func() {
+		// Forward the signal so the child drains gracefully; supervision
+		// ends with the child's own verdict, not a restart.
+		p.Terminate(<-sig)
+	}()
+	return p.Wait().Code
 }

@@ -98,13 +98,15 @@ func startDaemon(t *testing.T, args ...string) (*daemon, bool) {
 
 // output returns the captured stdout lines, minus the operational noise
 // that legitimately differs between a crashed-and-recovered run and an
-// uninterrupted one (duplicate-suppression and backpressure counters).
+// uninterrupted one (duplicate-suppression and backpressure counters, and
+// per-shard announce lines whose ports and pids are never stable).
 func (d *daemon) output() []string {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var out []string
 	for _, l := range d.lines {
-		if strings.HasPrefix(l, "shrugged off:") || strings.HasPrefix(l, "backpressure:") {
+		if strings.HasPrefix(l, "shrugged off:") || strings.HasPrefix(l, "backpressure:") ||
+			strings.HasPrefix(l, "shard ") {
 			continue
 		}
 		out = append(out, l)

@@ -64,11 +64,15 @@ type Message struct {
 	Client string           `json:"client,omitempty"`
 }
 
-// Protocol message types.
+// Protocol message types. The ingest payloads (step/report/cf) mirror
+// wire.MsgStep/MsgReport/MsgCF; "dump" is a connection-level query — a
+// fleet aggregator asks a shard for its full accepted-message state and
+// gets one wire.ShardState JSON line back (never WAL'd, never acked).
 const (
 	TypeStep   = "step"
 	TypeReport = "report"
 	TypeCF     = "cf"
+	TypeDump   = "dump"
 )
 
 // ParseMessage decodes and validates one protocol line: known type, the
@@ -109,6 +113,13 @@ func ParseMessage(line []byte) (*Message, error) {
 	case TypeCF:
 		if msg.CF == nil {
 			return nil, errors.New("cf message without payload")
+		}
+	case TypeDump:
+		if payloads != 0 {
+			return nil, errors.New("dump message carries a payload")
+		}
+		if msg.Seq != 0 {
+			return nil, errors.New("dump message cannot be sequenced")
 		}
 	default:
 		return nil, fmt.Errorf("unknown message type %q", msg.Type)
@@ -171,6 +182,13 @@ type ServerConfig struct {
 	// Durability, when non-nil, write-ahead-logs and snapshots every
 	// accepted message so a restart recovers a byte-identical state.
 	Durability *DurabilityConfig
+	// Shard, when non-nil, runs this server as one shard of a diagnosis
+	// fleet: it only accepts named clients the shard map assigns to it
+	// (others get a moved NACK carrying the owning shard), retains every
+	// accepted message with its (client, seq) provenance for the "dump"
+	// verb, and persists shard snapshots in message form so recovery can
+	// re-filter ownership against the current map.
+	Shard *ShardConfig
 	// Now injects the clock used for rate limiting, ack-window TTLs, and
 	// WAL fsync pacing. Nil uses the wall clock. (These are real-daemon
 	// concerns; simulation time never reaches this package.)
@@ -221,6 +239,10 @@ type ServerStats struct {
 	// WALErrors counts messages NACKed because the write-ahead log could
 	// not make them durable.
 	WALErrors int64
+	// Moved messages named a client the shard map assigns to another
+	// shard; they were NACKed with the owning shard index (shard mode
+	// only).
+	Moved int64
 }
 
 // clientState is everything the server remembers about one submitting
@@ -274,6 +296,13 @@ type Server struct {
 	closed   bool                    // guarded by mu
 	stopped  bool                    // guarded by mu
 
+	// ring is the consistent-hash ownership function in shard mode (nil
+	// otherwise); sourced retains every accepted message with its
+	// (client, seq) provenance, in ingest order, for dumps and shard
+	// snapshots.
+	ring    *wire.HashRing
+	sourced []wire.SourcedMessage // guarded by mu
+
 	// wal and sinceSnap are owned by the applier goroutine (and by
 	// stop(), which runs strictly after the applier exits).
 	wal       *wal
@@ -325,6 +354,13 @@ func ServeWith(addr string, cfg ServerConfig) (*Server, error) {
 	if s.now == nil {
 		//lint:ignore nosystime rate limiting, ack TTLs and fsync pacing on a real TCP daemon; wall clock never reaches simulation state
 		s.now = time.Now
+	}
+	if cfg.Shard != nil {
+		ring, err := cfg.Shard.ring()
+		if err != nil {
+			return nil, err
+		}
+		s.ring = ring
 	}
 	if cfg.Durability != nil {
 		if err := s.openDurability(*cfg.Durability); err != nil {
@@ -380,6 +416,22 @@ func (s *Server) applyRecovered(rec *RecoveredState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.now()
+	for _, sm := range rec.Snapshot.Messages {
+		// Shard-mode snapshot: rebuild state by re-ingesting the sourced
+		// stream, dropping clients the current shard map assigns
+		// elsewhere — a map change between incarnations must not replay
+		// records into the wrong shard.
+		if _, moved := s.disownedBy(sm.Client); moved {
+			rec.Stats.Reassigned++
+			continue
+		}
+		msg := messageFromSourced(sm)
+		if err := s.ingest(msg); err != nil {
+			s.log.Warn("recovery: skipping unreplayable snapshot message",
+				"client", msg.Client, "seq", msg.Seq, "err", err.Error())
+			continue
+		}
+	}
 	for _, r := range rec.Snapshot.Records {
 		recInt := r.Record()
 		s.records = append(s.records, recInt)
@@ -392,11 +444,18 @@ func (s *Server) applyRecovered(rec *RecoveredState) {
 		s.cfs[f.Key()] = true
 	}
 	for _, a := range rec.Snapshot.Acked {
+		if _, moved := s.disownedBy(a.Client); moved {
+			continue // the owning shard holds this client's window now
+		}
 		st := s.newClientState(now)
 		st.acked = a.Seq
 		s.clients[a.Client] = st
 	}
 	for _, msg := range rec.Messages {
+		if _, moved := s.disownedBy(msg.Client); moved {
+			rec.Stats.Reassigned++
+			continue
+		}
 		if msg.Seq > 0 && msg.Seq <= s.clientAcked(msg.Client) {
 			continue // resubmission that was logged twice across a crash
 		}
@@ -494,6 +553,8 @@ func (s *Server) PublishStats(reg *obs.Registry) {
 		func() int64 { return s.Stats().AckEvictions })
 	reg.GaugeFunc("vedr_analyzerd_wal_errors_total", "messages NACKed because the WAL append failed",
 		func() int64 { return s.Stats().WALErrors })
+	reg.GaugeFunc("vedr_analyzerd_moved_total", "messages NACKed because another shard owns the client",
+		func() int64 { return s.Stats().Moved })
 	reg.GaugeFunc("vedr_analyzerd_connections", "live client connections",
 		func() int64 { return int64(s.Conns()) })
 	reg.GaugeFunc("vedr_analyzerd_queue_depth", "accepted messages awaiting the applier",
@@ -640,6 +701,17 @@ func (s *Server) handle(conn net.Conn) {
 			s.count(func(st *ServerStats) { st.Malformed++ })
 			s.log.Warn("malformed line", "peer", peer, "err", err.Error())
 			s.replyf(conn, `{"error":%q}`+"\n", err.Error())
+			continue
+		}
+		if msg.Type == TypeDump {
+			s.replyDump(conn)
+			continue
+		}
+		if owner, ok := s.disownedBy(msg.Client); ok {
+			s.count(func(st *ServerStats) { st.Moved++ })
+			s.log.Warn("client belongs to another shard", "peer", peer,
+				"client", msg.Client, "owner", owner)
+			s.replyMoved(conn, msg.Seq, msg.Client, owner)
 			continue
 		}
 		key := msg.Client
@@ -868,6 +940,15 @@ func (s *Server) buildSnapshot() wire.Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := wire.Snapshot{Format: wire.SnapshotFormat, NextLSN: s.wal.nextLSN}
+	if s.ring != nil {
+		// Shard mode persists the sourced message stream instead of the
+		// derived record/report/cf state: recovery re-ingests the
+		// messages, which re-derives the state *and* re-checks ownership
+		// against the shard map of the restarted incarnation.
+		snap.Messages = append(snap.Messages, s.sourced...)
+		snap.Acked = s.ackedLocked()
+		return snap
+	}
 	for _, r := range s.records {
 		snap.Records = append(snap.Records, wire.FromStepRecord(r))
 	}
@@ -882,17 +963,25 @@ func (s *Server) buildSnapshot() wire.Snapshot {
 	for _, k := range keys {
 		snap.CFs = append(snap.CFs, wire.FromFlow(k))
 	}
+	snap.Acked = s.ackedLocked()
+	return snap
+}
+
+// ackedLocked returns the per-client ack highwaters, sorted by client.
+// Callers hold s.mu.
+func (s *Server) ackedLocked() []wire.ClientAck {
 	ids := make([]string, 0, len(s.clients))
 	for id := range s.clients {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	var acked []wire.ClientAck
 	for _, id := range ids {
 		if st := s.clients[id]; st.acked > 0 {
-			snap.Acked = append(snap.Acked, wire.ClientAck{Client: id, Seq: st.acked})
+			acked = append(acked, wire.ClientAck{Client: id, Seq: st.acked})
 		}
 	}
-	return snap
+	return acked
 }
 
 func flowKeyLess(a, b fabric.FlowKey) bool {
@@ -1067,6 +1156,9 @@ func (s *Server) ingest(msg *Message) error {
 		s.cfs[msg.CF.Key()] = true
 	default:
 		return fmt.Errorf("unknown message type %q", msg.Type)
+	}
+	if s.ring != nil {
+		s.sourced = append(s.sourced, sourcedFromMessage(msg))
 	}
 	return nil
 }

@@ -17,30 +17,9 @@ import (
 	"vedrfolnir/internal/wire"
 )
 
-// crashForTest is the in-process stand-in for SIGKILL: connections die,
-// the listener closes, whatever the fsync policy already made durable
-// stays on disk, and no drain snapshot or final sync is written.
-func (s *Server) crashForTest() {
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
-		return
-	}
-	s.stopped = true
-	s.closed = true
-	s.draining = true
-	for conn := range s.conns {
-		conn.Close()
-	}
-	s.mu.Unlock()
-	s.ln.Close()
-	s.wg.Wait()
-	close(s.queue)
-	<-s.applierDone
-	if s.wal != nil {
-		s.wal.abandon()
-	}
-}
+// crashForTest is the in-process stand-in for SIGKILL (now exported as
+// Abort for the fleet harness; the alias keeps the test vocabulary).
+func (s *Server) crashForTest() { s.Abort() }
 
 // sendFn defers one submission so tests can cut the stream anywhere.
 type sendFn func(rc *ReliableClient) error

@@ -44,6 +44,13 @@ type ClientConfig struct {
 // shed load) before buffering more.
 var ErrQueueFull = errors.New("analyzerd: client pending buffer full")
 
+// ErrRedirected marks a Flush failure caused by shard-moved NACKs: the
+// shard (or router) answering this address says another shard owns this
+// client. The pending buffer is retained — the caller should redial the
+// fleet router (or the owning shard) and Flush again; nothing was lost.
+// Test with errors.Is.
+var ErrRedirected = errors.New("analyzerd: client's shard moved")
+
 // ClientStats counts the reliability machinery's work.
 type ClientStats struct {
 	// Reconnects counts re-dials after a connection failure.
@@ -58,6 +65,11 @@ type ClientStats struct {
 	// out of order); the nacked messages stay pending and are resubmitted
 	// after backoff.
 	Backpressure int
+	// Redirected counts shard-moved naks: a fleet shard refused the
+	// message because the shard map assigns this client elsewhere. The
+	// messages stay pending; Flush surfaces ErrRedirected so the caller
+	// can re-point the client at the router or the owning shard.
+	Redirected int
 }
 
 type pendingMsg struct {
@@ -211,12 +223,13 @@ func (rc *ReliableClient) attempt(isRetry bool) error {
 		Nak   int64  `json:"nak"`
 		Error string `json:"error"`
 		Retry bool   `json:"retry"`
+		Moved bool   `json:"moved"`
 	}
 	// The server replies exactly once per submitted line (in order), so
 	// read one reply per written message — a retryable nak leaves its
 	// message pending, and the server's contiguity check guarantees no
 	// later ack can leapfrog it.
-	busy := 0
+	busy, moved := 0, 0
 	for i := 0; i < written && len(rc.pending) > 0; i++ {
 		//lint:ignore nosystime ack-read deadline on a real TCP connection; wall clock never reaches simulation state
 		if err := rc.conn.SetReadDeadline(time.Now().Add(rc.cfg.AckTimeout)); err != nil {
@@ -233,6 +246,13 @@ func (rc *ReliableClient) attempt(isRetry bool) error {
 		switch {
 		case rep.Ack > 0:
 			rc.dropThrough(rep.Ack, false)
+		case rep.Moved:
+			// Another shard owns this client (moved replies are also
+			// retryable, so this case must precede Retry). The message
+			// stays pending; the attempt ends in ErrRedirected so the
+			// caller learns to re-point the client.
+			moved++
+			rc.Stats.Redirected++
 		case rep.Retry:
 			// Transient pressure (overloaded / rate limited / out of
 			// order): the message stays pending for resubmission after
@@ -250,6 +270,10 @@ func (rc *ReliableClient) attempt(isRetry bool) error {
 		}
 	}
 	if len(rc.pending) > 0 {
+		if moved > 0 {
+			return fmt.Errorf("%w: %d shard-moved naks, %d still pending",
+				ErrRedirected, moved, len(rc.pending))
+		}
 		return fmt.Errorf("server backpressure: %d retryable naks, %d still pending",
 			busy, len(rc.pending))
 	}

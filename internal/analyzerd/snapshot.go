@@ -110,6 +110,10 @@ type RecoverStats struct {
 	// a CRC mismatch.
 	WALTruncatedBytes int64
 	WALTornTail       bool
+	// Reassigned counts recovered messages dropped because the shard map
+	// of the restarted incarnation assigns their client to a different
+	// shard (shard mode only; the owning shard replays them instead).
+	Reassigned int
 	// NextLSN is the first LSN the reopened log will assign.
 	NextLSN uint64
 }
@@ -141,6 +145,18 @@ func Recover(dir string) (*RecoveredState, error) {
 	rs.Stats.SnapshotRecords = len(snap.Records)
 	rs.Stats.SnapshotReports = len(snap.Reports)
 	rs.Stats.SnapshotCFs = len(snap.CFs)
+	for _, sm := range snap.Messages {
+		// Shard snapshots carry messages instead of derived state; the
+		// counters still describe what was restored.
+		switch sm.Type {
+		case TypeStep:
+			rs.Stats.SnapshotRecords++
+		case TypeReport:
+			rs.Stats.SnapshotReports++
+		case TypeCF:
+			rs.Stats.SnapshotCFs++
+		}
+	}
 
 	walStats, err := replayWAL(dir, snap.NextLSN, func(_ uint64, payload []byte) error {
 		msg, err := ParseMessage(payload)

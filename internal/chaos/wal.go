@@ -46,6 +46,37 @@ func (w *WALFaults) FlipBit(size int64) (offset int64, bit uint) {
 	return w.rng.Int63n(size), uint(w.rng.Intn(8))
 }
 
+// ShardKill schedules the SIGKILL of one fleet shard: after the router
+// has seen AfterAcked acknowledged messages in total, shard Shard dies
+// (and its supervisor restarts it).
+type ShardKill struct {
+	// AfterAcked is the cumulative fleet-wide acked-message count that
+	// triggers the kill.
+	AfterAcked int
+	// Shard is the shard index to SIGKILL.
+	Shard int
+}
+
+// ShardKills draws a fleet kill schedule: every shard in [0, shards) is
+// killed exactly once, at distinct acked counts in [1, msgs], so the
+// kill-any-shard byte-identity property is exercised against each fleet
+// member in one run. The plan comes back sorted by AfterAcked so the
+// harness consumes it as it counts acknowledgements; which shard dies at
+// which point is a seeded shuffle. Fewer kills come back when msgs is too
+// small to supply a distinct point per shard.
+func (w *WALFaults) ShardKills(shards, msgs int) []ShardKill {
+	if shards <= 0 {
+		return nil
+	}
+	points := w.CrashPoints(shards, msgs)
+	order := w.rng.Perm(shards)
+	plan := make([]ShardKill, 0, len(points))
+	for i, p := range points {
+		plan = append(plan, ShardKill{AfterAcked: p, Shard: order[i]})
+	}
+	return plan
+}
+
 // CrashPoints draws n distinct message indices in [1, msgs] at which the
 // harness SIGKILLs the daemon mid-ingest, sorted ascending so a run can
 // consume them as it counts acknowledged messages. Fewer than n points

@@ -58,3 +58,54 @@ func TestWALFaultsBounds(t *testing.T) {
 		t.Fatal("degenerate crash point requests must return nil")
 	}
 }
+
+func TestShardKillsCoverEveryShardOnce(t *testing.T) {
+	a, b := NewWALFaults(11), NewWALFaults(11)
+	pa, pb := a.ShardKills(4, 40), b.ShardKills(4, 40)
+	if !reflect.DeepEqual(pa, pb) {
+		t.Fatalf("same seed drew different kill plans: %v vs %v", pa, pb)
+	}
+	if len(pa) != 4 {
+		t.Fatalf("plan has %d kills, want 4", len(pa))
+	}
+	seen := map[int]bool{}
+	last := 0
+	for _, k := range pa {
+		if k.Shard < 0 || k.Shard >= 4 {
+			t.Fatalf("kill targets shard %d outside [0,4)", k.Shard)
+		}
+		if seen[k.Shard] {
+			t.Fatalf("shard %d killed twice: %v", k.Shard, pa)
+		}
+		seen[k.Shard] = true
+		if k.AfterAcked < 1 || k.AfterAcked > 40 {
+			t.Fatalf("kill point %d outside [1,40]", k.AfterAcked)
+		}
+		if k.AfterAcked <= last {
+			t.Fatalf("kill points not strictly ascending: %v", pa)
+		}
+		last = k.AfterAcked
+	}
+	if pc := NewWALFaults(12).ShardKills(4, 40); reflect.DeepEqual(pa, pc) {
+		t.Fatalf("different seeds drew identical kill plans: %v", pa)
+	}
+}
+
+func TestShardKillsDegenerate(t *testing.T) {
+	w := NewWALFaults(5)
+	if plan := w.ShardKills(0, 10); plan != nil {
+		t.Fatalf("no shards should mean no plan, got %v", plan)
+	}
+	// Fewer messages than shards: a partial plan, still one kill per shard.
+	plan := w.ShardKills(8, 3)
+	if len(plan) != 3 {
+		t.Fatalf("3 messages can host only 3 kills, got %d", len(plan))
+	}
+	seen := map[int]bool{}
+	for _, k := range plan {
+		if seen[k.Shard] {
+			t.Fatalf("shard %d killed twice in partial plan %v", k.Shard, plan)
+		}
+		seen[k.Shard] = true
+	}
+}

@@ -210,8 +210,33 @@ func Analyze(in Input) *Diagnosis {
 		obs.I("records", int64(len(in.Records))),
 		obs.I("critical_steps", int64(len(d.CriticalPath))))
 
-	// 2. Aggregate provenance graph → signature findings.
-	d.Graph = provenance.Build(in.Reports, in.CFs)
+	// 2. Provenance graphs → signature findings. Reports are grouped by
+	// triggering step and one graph is built per group (plus one for
+	// reports no step claims); the aggregate graph is their Merge. Every
+	// Graph aggregate is commutative, so the merged graph is
+	// content-equal to building one graph over the full report set —
+	// this is the same merge a sharded fleet applies across shard dumps
+	// — and the per-step graphs are reused by the rating phase below.
+	byStep, ungrouped := groupReports(in)
+	refs := make([]waitgraph.StepRef, 0, len(byStep))
+	for ref := range byStep {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Host != refs[j].Host {
+			return refs[i].Host < refs[j].Host
+		}
+		return refs[i].Step < refs[j].Step
+	})
+	stepGraphs := make(map[waitgraph.StepRef]*provenance.Graph, len(byStep))
+	parts := make([]*provenance.Graph, 0, len(byStep)+1)
+	for _, ref := range refs {
+		g := provenance.Build(byStep[ref], in.CFs)
+		stepGraphs[ref] = g
+		parts = append(parts, g)
+	}
+	parts = append(parts, provenance.Build(ungrouped, in.CFs))
+	d.Graph = provenance.Merge(parts...)
 	d.Findings = findAnomalies(d.Graph, in)
 	var provEdges, provPorts int64
 	if in.Obs.Enabled() {
@@ -225,7 +250,7 @@ func Analyze(in Input) *Diagnosis {
 		obs.I("findings", int64(len(d.Findings))))
 
 	// 3. Contributor rating (Eqs. 2 and 3).
-	d.rate(in)
+	d.rate(in, stepGraphs)
 	tr.Instant(obs.PidAnalyzer, 0, "phase", "rate", in.ObsAt,
 		obs.I("ratings", int64(len(d.Ratings))))
 
@@ -472,21 +497,28 @@ func findPFCCycle(g *provenance.Graph) []topo.PortID {
 // rate computes Eq. 2 per (contender, cf) on per-step graphs and folds them
 // into the Eq. 3 overall score, weighting each critical step by its share
 // of the total slowdown.
-func (d *Diagnosis) rate(in Input) {
-	// Group reports by the step that triggered them; steps without their
-	// own reports fall back to the full report set (the aggregate graph
-	// still witnesses the anomaly even when another host's monitor
-	// collected it).
+// groupReports splits reports into per-step groups (per StepOf) and the
+// remainder that no step claims.
+func groupReports(in Input) (map[waitgraph.StepRef][]*telemetry.Report, []*telemetry.Report) {
 	byStep := map[waitgraph.StepRef][]*telemetry.Report{}
+	var rest []*telemetry.Report
 	for _, rep := range in.Reports {
 		if in.StepOf != nil {
 			if ref, ok := in.StepOf(rep.TriggeredBy); ok {
 				byStep[ref] = append(byStep[ref], rep)
+				continue
 			}
 		}
+		rest = append(rest, rep)
 	}
-	global := in.Reports
+	return byStep, rest
+}
 
+// rate scores contributors per Eqs. 2 and 3. stepGraphs are the per-step
+// provenance graphs built during phase 2; steps without their own
+// reports fall back to the merged aggregate graph (it still witnesses
+// the anomaly even when another host's monitor collected it).
+func (d *Diagnosis) rate(in Input, stepGraphs map[waitgraph.StepRef]*provenance.Graph) {
 	expected := in.Expected
 	if expected == nil {
 		expected = minExecExpectation(in.Records)
@@ -510,18 +542,18 @@ func (d *Diagnosis) rate(in Input) {
 		if slow <= 0 {
 			continue
 		}
-		reps := byStep[ref]
-		if len(reps) == 0 {
-			reps = global
-		}
-		if len(reps) == 0 {
-			continue
+		g := stepGraphs[ref]
+		if g == nil {
+			if len(in.Reports) == 0 {
+				continue
+			}
+			g = d.Graph
 		}
 		steps = append(steps, stepCtx{
 			ref:   ref,
 			cf:    rec.Flow,
 			slow:  slow,
-			graph: provenance.Build(reps, in.CFs),
+			graph: g,
 		})
 		totalSlow += slow
 	}

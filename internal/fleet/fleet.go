@@ -1,0 +1,295 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"time"
+
+	"vedrfolnir/internal/diagnose"
+	"vedrfolnir/internal/obs"
+	"vedrfolnir/internal/wire"
+)
+
+// Config assembles a diagnosis fleet: N shard daemons (each a supervised
+// child process of the analyzer binary with its own WAL directory) behind
+// one Router.
+type Config struct {
+	// BinPath is the vedranalyzerd binary the shard children run. Required.
+	BinPath string
+	// Shards is the fleet width (required, >= 1); Replicas is the
+	// consistent-hash vnode count per shard (0 = wire.DefaultShardReplicas).
+	Shards   int
+	Replicas int
+	// Dir, when set, gives each shard a WAL under Dir/shard-<i> so a
+	// SIGKILLed shard recovers its accepted messages on restart. Empty
+	// disables durability (a killed shard loses its slice of the fleet).
+	Dir string
+	// Fsync ("always", "interval", "never") and SnapshotEvery are passed
+	// through to each shard's -fsync / -snapshot-every flags when Dir is
+	// set; zero values keep the daemon defaults.
+	Fsync         string
+	SnapshotEvery int
+	// Listen is the router's bind address (default 127.0.0.1:0).
+	Listen string
+	// Supervision knobs, passed to each shard's Proc; zero values take the
+	// Proc defaults.
+	Backoff      time.Duration
+	BackoffMax   time.Duration
+	CrashWindow  time.Duration
+	CrashLoops   int
+	HealthyAfter time.Duration
+	// HoldShard, when >= 0, holds that shard down at Drain time — its dump
+	// is skipped and the merged diagnosis is degraded instead of failed.
+	// The operator-facing stand-in for "one shard is dead and will not
+	// come back before the report is due".
+	HoldShard int
+	// ReadyTimeout bounds each shard's first announce (default 30s).
+	ReadyTimeout time.Duration
+	// OnShard, when set, observes every shard (re)announce: index, listen
+	// address, pid. Called from the supervisor goroutine.
+	OnShard func(i int, addr string, pid int)
+	// Stderr receives the children's stderr (nil = discard). Log receives
+	// supervisor and router notes; nil discards. Metrics publishes router
+	// counters.
+	Stderr  io.Writer
+	Log     *slog.Logger
+	Metrics *obs.Registry
+}
+
+// Merged is a fleet drain's result: the canonical merged bundle plus the
+// coverage bookkeeping a degraded gather needs to be honest about.
+type Merged struct {
+	// Bundle is the merged telemetry in canonical order.
+	Bundle *wire.Bundle
+	// Stats describes the merge.
+	Stats wire.MergeStats
+	// Missing lists the shard indices whose dumps were unavailable.
+	Missing []int
+	// MissedRecords/MissedReports/MissedCFs count what the router saw the
+	// missing shards acknowledge — the lower bound on what the merge lost.
+	MissedRecords int
+	MissedReports int
+	MissedCFs     int
+	// Diagnosis is the analysis of Bundle; when shards are missing it is
+	// computed degraded, with Coverage and Confidence discounted by the
+	// missed counts.
+	Diagnosis *diagnose.Diagnosis
+}
+
+// Degraded reports whether the gather was incomplete.
+func (m *Merged) Degraded() bool { return len(m.Missing) > 0 }
+
+// Fleet is a running sharded analyzer: router + supervised shard
+// processes. The contract it exists to keep: SIGKILL any single shard
+// mid-ingest and, once its supervisor restarts it, the drained merged
+// diagnosis is byte-identical to an unbroken run's.
+type Fleet struct {
+	cfg    Config
+	router *Router
+	procs  []*Proc
+}
+
+// Start launches the fleet: router first (so shard announces have
+// somewhere to land), then the shard children, then a readiness wait on
+// every shard's first announce.
+func Start(cfg Config) (*Fleet, error) {
+	if cfg.BinPath == "" {
+		return nil, fmt.Errorf("fleet: BinPath is required")
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("fleet: Shards = %d, want >= 1", cfg.Shards)
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.ReadyTimeout <= 0 {
+		cfg.ReadyTimeout = 30 * time.Second
+	}
+	if cfg.Log == nil {
+		cfg.Log = obs.NopLogger()
+	}
+	m := wire.ShardMap{Shards: cfg.Shards, Replicas: cfg.Replicas}
+	router, err := StartRouter(cfg.Listen, RouterConfig{
+		Map:     m,
+		Log:     cfg.Log,
+		Metrics: cfg.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{cfg: cfg, router: router, procs: make([]*Proc, cfg.Shards)}
+	for i := 0; i < cfg.Shards; i++ {
+		p, err := f.startShard(i)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.procs[i] = p
+	}
+	for i, p := range f.procs {
+		if err := p.WaitReady(cfg.ReadyTimeout); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: shard %d never became ready: %w", i, err)
+		}
+	}
+	return f, nil
+}
+
+func (f *Fleet) startShard(i int) (*Proc, error) {
+	args := []string{
+		"-listen", "127.0.0.1:0",
+		"-shard-index", strconv.Itoa(i),
+		"-shard-count", strconv.Itoa(f.cfg.Shards),
+	}
+	if f.cfg.Replicas > 0 {
+		args = append(args, "-shard-replicas", strconv.Itoa(f.cfg.Replicas))
+	}
+	if f.cfg.Dir != "" {
+		dir := filepath.Join(f.cfg.Dir, fmt.Sprintf("shard-%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: shard %d wal dir: %w", i, err)
+		}
+		args = append(args, "-wal-dir", dir)
+		if f.cfg.Fsync != "" {
+			args = append(args, "-fsync", f.cfg.Fsync)
+		}
+		if f.cfg.SnapshotEvery > 0 {
+			args = append(args, "-snapshot-every", strconv.Itoa(f.cfg.SnapshotEvery))
+		}
+	}
+	idx := i
+	log := f.cfg.Log
+	return StartProc(ProcConfig{
+		Path:           f.cfg.BinPath,
+		Args:           args,
+		AnnouncePrefix: "analyzer listening on ",
+		RelistenFlag:   "-listen",
+		Backoff:        f.cfg.Backoff,
+		BackoffMax:     f.cfg.BackoffMax,
+		CrashWindow:    f.cfg.CrashWindow,
+		CrashLoops:     f.cfg.CrashLoops,
+		HealthyAfter:   f.cfg.HealthyAfter,
+		Stderr:         f.cfg.Stderr,
+		Logf: func(format string, args ...any) {
+			log.Info(fmt.Sprintf("shard %d: "+format, append([]any{idx}, args...)...))
+		},
+		OnAnnounce: func(addr string, pid int) {
+			f.router.SetShardAddr(idx, addr)
+			if f.cfg.OnShard != nil {
+				f.cfg.OnShard(idx, addr, pid)
+			}
+		},
+	})
+}
+
+// Addr returns the router's client-facing listen address.
+func (f *Fleet) Addr() string { return f.router.Addr() }
+
+// Router exposes the ingest tier (tests and the obs registry peek at it).
+func (f *Fleet) Router() *Router { return f.router }
+
+// Shards returns the fleet width.
+func (f *Fleet) Shards() int { return len(f.procs) }
+
+// Ready reports whether every shard has announced and is being supervised.
+func (f *Fleet) Ready() error {
+	for i, p := range f.procs {
+		if err := p.Ready(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Pid returns shard i's current child pid (-1 when not running).
+func (f *Fleet) Pid(i int) int {
+	if i < 0 || i >= len(f.procs) {
+		return -1
+	}
+	return f.procs[i].Pid()
+}
+
+// Restarts returns how many times shard i has been restarted.
+func (f *Fleet) Restarts(i int) int {
+	if i < 0 || i >= len(f.procs) {
+		return 0
+	}
+	return f.procs[i].Restarts()
+}
+
+// KillShard SIGKILLs shard i's child; the supervisor restarts it
+// immediately and the router learns the new address from its announce.
+func (f *Fleet) KillShard(i int) error {
+	if i < 0 || i >= len(f.procs) {
+		return fmt.Errorf("fleet: no shard %d", i)
+	}
+	f.procs[i].Kill()
+	return nil
+}
+
+// Drain finishes the fleet run: stop accepting clients, gather every
+// shard's dump, terminate the children, merge, and diagnose. A shard that
+// cannot be dumped (held down, or dead past its crash-loop budget)
+// degrades the result instead of failing it: the router's acked tallies
+// for that shard become the missed-input counts that discount Coverage
+// and Confidence.
+func (f *Fleet) Drain(scope *obs.Scope) (*Merged, error) {
+	if f.cfg.HoldShard >= 0 && f.cfg.HoldShard < len(f.procs) {
+		// Hold the shard down before gathering: the degraded-drain drill.
+		f.procs[f.cfg.HoldShard].Hold()
+	}
+	f.router.Stop() // no new ingest; shard links stay up for the dumps
+
+	tallies := f.router.Tallies()
+	merged := &Merged{}
+	states := make([]*wire.ShardState, 0, len(f.procs))
+	for i := range f.procs {
+		state, err := f.router.DumpShard(i)
+		if err != nil {
+			f.cfg.Log.Warn("shard dump unavailable; degrading", "shard", i, "err", err)
+			merged.Missing = append(merged.Missing, i)
+			merged.MissedRecords += tallies[i].Records
+			merged.MissedReports += tallies[i].Reports
+			merged.MissedCFs += tallies[i].CFs
+			continue
+		}
+		states = append(states, state)
+	}
+	if len(states) == 0 {
+		f.Close()
+		return nil, fmt.Errorf("fleet: no shard could be dumped; nothing to diagnose")
+	}
+	f.Close()
+
+	bundle, stats := wire.MergeShardStates(states)
+	merged.Bundle = bundle
+	merged.Stats = stats
+	if merged.Degraded() {
+		merged.Diagnosis = bundle.AnalyzeDegraded(scope,
+			merged.MissedRecords, merged.MissedReports)
+	} else {
+		merged.Diagnosis = bundle.AnalyzeObs(scope)
+	}
+	return merged, nil
+}
+
+// Close terminates every shard child and the router. Safe to call more
+// than once and after Drain.
+func (f *Fleet) Close() {
+	for _, p := range f.procs {
+		if p != nil {
+			p.Terminate(syscall.SIGTERM)
+		}
+	}
+	for _, p := range f.procs {
+		if p != nil {
+			p.Wait()
+		}
+	}
+	f.router.Close()
+}

@@ -1,0 +1,100 @@
+package provenance
+
+import (
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/topo"
+)
+
+// Merge folds any number of provenance graphs into one. Every Graph
+// aggregate is commutative and associative — packet/byte/wait/meter
+// counts sum, queue depths take the max, pause/injection flags OR, and
+// the CF set unions — so Merge(Build(A), Build(B)) is content-equal to
+// Build(A ∪ B) regardless of how the report set was partitioned or in
+// which order the parts arrive. That property is what lets a sharded
+// diagnosis fleet build per-shard (and per-step) graphs independently
+// and still produce one deterministic aggregate graph. nil inputs are
+// skipped; Merge of nothing is an empty graph.
+func Merge(gs ...*Graph) *Graph {
+	m := &Graph{
+		flowPkts:  map[topo.PortID]map[fabric.FlowKey]int64{},
+		flowBytes: map[topo.PortID]map[fabric.FlowKey]int64{},
+		pairWait:  map[topo.PortID]map[fabric.FlowKey]map[fabric.FlowKey]int64{},
+		qdepth:    map[topo.PortID]int64{},
+		meterIn:   map[topo.PortID]map[topo.PortID]int64{},
+		pfcOut:    map[topo.PortID]map[topo.PortID]bool{},
+		paused:    map[topo.PortID]bool{},
+		injected:  map[topo.PortID]bool{},
+		cf:        map[fabric.FlowKey]bool{},
+	}
+	for _, g := range gs {
+		if g == nil {
+			continue
+		}
+		for p, fs := range g.flowPkts {
+			for f, v := range fs {
+				add2(m.flowPkts, p, f, v)
+			}
+		}
+		for p, fs := range g.flowBytes {
+			for f, v := range fs {
+				add2(m.flowBytes, p, f, v)
+			}
+		}
+		for p, rows := range g.pairWait {
+			for fi, row := range rows {
+				dst := m.pairWait[p]
+				if dst == nil {
+					dst = map[fabric.FlowKey]map[fabric.FlowKey]int64{}
+					m.pairWait[p] = dst
+				}
+				drow := dst[fi]
+				if drow == nil {
+					drow = map[fabric.FlowKey]int64{}
+					dst[fi] = drow
+				}
+				for fj, w := range row {
+					drow[fj] += w
+				}
+			}
+		}
+		for p, d := range g.qdepth {
+			if d > m.qdepth[p] {
+				m.qdepth[p] = d
+			}
+		}
+		for p, mi := range g.meterIn {
+			for up, b := range mi {
+				add2(m.meterIn, p, up, b)
+			}
+		}
+		for pi, out := range g.pfcOut {
+			for pj, on := range out {
+				if !on {
+					continue
+				}
+				dst := m.pfcOut[pi]
+				if dst == nil {
+					dst = map[topo.PortID]bool{}
+					m.pfcOut[pi] = dst
+				}
+				dst[pj] = true
+			}
+		}
+		for p, on := range g.paused {
+			if on {
+				m.paused[p] = true
+			}
+		}
+		for p, on := range g.injected {
+			if on {
+				m.injected[p] = true
+			}
+		}
+		for f, on := range g.cf {
+			if on {
+				m.cf[f] = true
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,64 @@
+package provenance
+
+import (
+	"reflect"
+	"testing"
+
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/telemetry"
+)
+
+// TestMergeEquivalentToBuild pins the property the fleet merge depends
+// on: building per-partition graphs and merging them is content-equal
+// (not just behaviorally equal) to building one graph over the whole
+// report set, for any partitioning.
+func TestMergeEquivalentToBuild(t *testing.T) {
+	cfs := map[fabric.FlowKey]bool{cfKey: true}
+	reports := []*telemetry.Report{
+		contentionReport(), pfcReport(), contentionReport(),
+	}
+	whole := Build(reports, cfs)
+
+	partitions := [][][]*telemetry.Report{
+		{{reports[0]}, {reports[1]}, {reports[2]}},
+		{{reports[0], reports[1]}, {reports[2]}},
+		{{reports[2], reports[0]}, nil, {reports[1]}},
+	}
+	for i, parts := range partitions {
+		var gs []*Graph
+		for _, part := range parts {
+			if part == nil {
+				gs = append(gs, nil) // Merge must skip nil graphs
+				continue
+			}
+			gs = append(gs, Build(part, cfs))
+		}
+		merged := Merge(gs...)
+		if !reflect.DeepEqual(merged, whole) {
+			t.Errorf("partition %d: Merge(Build(parts)) != Build(all)\n got %+v\nwant %+v", i, merged, whole)
+		}
+	}
+}
+
+func TestMergeOfNothingIsEmpty(t *testing.T) {
+	m := Merge()
+	if !reflect.DeepEqual(m, Build(nil, nil)) {
+		t.Errorf("Merge() = %+v, want the empty Build graph", m)
+	}
+}
+
+func TestMergeTakesMaxQueueDepthAndORsFlags(t *testing.T) {
+	shallow := Build([]*telemetry.Report{{Ports: []telemetry.PortRecord{
+		{Switch: p1.Node, Port: p1.Port, AvgQueuedBytes: 100},
+	}}}, nil)
+	deep := Build([]*telemetry.Report{{Ports: []telemetry.PortRecord{
+		{Switch: p1.Node, Port: p1.Port, AvgQueuedBytes: 900, Paused: true},
+	}}}, nil)
+	m := Merge(shallow, deep)
+	if m.qdepth[p1] != 900 {
+		t.Errorf("merged qdepth = %d, want max 900", m.qdepth[p1])
+	}
+	if !m.Paused(p1) {
+		t.Error("merged graph lost the Paused flag")
+	}
+}

@@ -31,6 +31,11 @@ const (
 	// byte-identical to the in-process one — optionally SIGKILLing and
 	// restarting the daemon mid-stream.
 	Analyzerd
+	// Fleet replays the run through `vedranalyzerd -cluster`: per-host
+	// reliable clients stream to a consistent-hash router over N supervised
+	// shard daemons, optionally SIGKILLing one shard mid-stream (recovered)
+	// or holding one down through the drain (degraded diagnosis).
+	Fleet
 )
 
 func (m Mode) String() string {
@@ -39,6 +44,8 @@ func (m Mode) String() string {
 		return "in-process"
 	case Analyzerd:
 		return "analyzerd"
+	case Fleet:
+		return "fleet"
 	default:
 		return fmt.Sprintf("mode(%d)", uint8(m))
 	}
@@ -109,6 +116,28 @@ type AnalyzerdSpec struct {
 	Fsync string
 }
 
+// FleetSpec tunes the fleet mode's sharded cluster.
+type FleetSpec struct {
+	// Shards is the fleet width (required, in [2, 16]).
+	Shards int
+	// Replicas is the consistent-hash vnode count per shard (0 = default).
+	Replicas int
+	// KillShard, when not Unset, SIGKILLs that shard after KillAfter acked
+	// messages; its supervisor restarts it on its WAL and the runner
+	// asserts the merged diagnosis matches an unbroken run.
+	KillShard int
+	// KillAfter is the fleet-wide acked-message count that triggers the
+	// kill (required with KillShard).
+	KillAfter int
+	// HoldShard, when not Unset, holds that shard down at drain time; the
+	// runner asserts a degraded (confidence < 1) diagnosis.
+	HoldShard int
+	// SnapshotEvery is each shard's -snapshot-every (default 4); Fsync is
+	// the -fsync policy (default "always").
+	SnapshotEvery int
+	Fsync         string
+}
+
 // Expect declares the assertions the runner diffs the diagnosis against.
 // Numeric fields use Unset (-1) when not declared; string and list fields
 // use their zero values.
@@ -154,6 +183,7 @@ type Spec struct {
 	// shorthand already folded in).
 	Chaos     chaos.Config
 	Analyzerd AnalyzerdSpec
+	Fleet     FleetSpec
 	Expect    Expect
 }
 
@@ -332,8 +362,10 @@ func decodeSpec(root *Node) (*Spec, error) {
 			sp.Mode = InProcess
 		case "analyzerd":
 			sp.Mode = Analyzerd
+		case "fleet":
+			sp.Mode = Fleet
 		default:
-			return nil, errAt(line, "key \"mode\": unknown mode %q (in-process, analyzerd)", mode)
+			return nil, errAt(line, "key \"mode\": unknown mode %q (in-process, analyzerd, fleet)", mode)
 		}
 	}
 
@@ -386,6 +418,31 @@ func decodeSpec(root *Node) (*Spec, error) {
 		}
 		if sp.Analyzerd.Fsync == "" {
 			sp.Analyzerd.Fsync = "always"
+		}
+	}
+
+	fl, err := d.mapping("fleet")
+	if err != nil {
+		return nil, err
+	}
+	sp.Fleet.KillShard, sp.Fleet.HoldShard = Unset, Unset
+	if fl != nil {
+		if sp.Mode != Fleet {
+			return nil, errAt(fl.n.Line, "section \"fleet\" requires mode: fleet")
+		}
+		if err := decodeFleet(fl, sp); err != nil {
+			return nil, err
+		}
+	}
+	if sp.Mode == Fleet {
+		if fl == nil {
+			return nil, errAt(root.Line, "mode fleet requires a \"fleet\" section (at least \"shards\")")
+		}
+		if sp.Fleet.SnapshotEvery == 0 {
+			sp.Fleet.SnapshotEvery = 4
+		}
+		if sp.Fleet.Fsync == "" {
+			sp.Fleet.Fsync = "always"
 		}
 	}
 
@@ -748,6 +805,97 @@ func decodeAnalyzerd(d *dec, sp *Spec) error {
 	return d.finish("section \"analyzerd\"")
 }
 
+func decodeFleet(d *dec, sp *Spec) error {
+	f := &sp.Fleet
+	shards, line, ok, err := d.intVal("shards")
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errAt(d.n.Line, "fleet: missing required key \"shards\"")
+	}
+	if shards < 2 || shards > 16 {
+		return errAt(line, "key \"shards\": fleet width must be in [2, 16], got %d", shards)
+	}
+	f.Shards = int(shards)
+
+	reps, line, ok, err := d.intVal("replicas")
+	if err != nil {
+		return err
+	}
+	if ok {
+		if reps <= 0 {
+			return errAt(line, "key \"replicas\": must be > 0 vnodes per shard, got %d", reps)
+		}
+		f.Replicas = int(reps)
+	}
+
+	ks, ksLine, hasKS, err := d.intVal("kill-shard")
+	if err != nil {
+		return err
+	}
+	if hasKS {
+		if ks < 0 || ks >= shards {
+			return errAt(ksLine, "key \"kill-shard\": shard index must be in [0, %d), got %d", shards, ks)
+		}
+		f.KillShard = int(ks)
+	}
+	ka, line, hasKA, err := d.intVal("kill-shard-after")
+	if err != nil {
+		return err
+	}
+	if hasKA {
+		if !hasKS {
+			return errAt(line, "key \"kill-shard-after\" requires \"kill-shard\"")
+		}
+		if ka <= 0 {
+			return errAt(line, "key \"kill-shard-after\": must be > 0 acked messages, got %d", ka)
+		}
+		f.KillAfter = int(ka)
+	}
+	if hasKS && !hasKA {
+		return errAt(ksLine, "key \"kill-shard\" requires \"kill-shard-after\"")
+	}
+
+	hs, line, hasHS, err := d.intVal("hold-down-shard")
+	if err != nil {
+		return err
+	}
+	if hasHS {
+		if hasKS {
+			return errAt(line, "keys \"kill-shard\" and \"hold-down-shard\" are mutually exclusive")
+		}
+		if hs < 0 || hs >= shards {
+			return errAt(line, "key \"hold-down-shard\": shard index must be in [0, %d), got %d", shards, hs)
+		}
+		f.HoldShard = int(hs)
+	}
+
+	se, line, ok, err := d.intVal("snapshot-every")
+	if err != nil {
+		return err
+	}
+	if ok {
+		if se <= 0 {
+			return errAt(line, "key \"snapshot-every\": must be > 0, got %d", se)
+		}
+		f.SnapshotEvery = int(se)
+	}
+	fs, line, ok, err := d.str("fsync")
+	if err != nil {
+		return err
+	}
+	if ok {
+		switch fs {
+		case "always", "interval", "off":
+			f.Fsync = fs
+		default:
+			return errAt(line, "key \"fsync\": unknown policy %q (always, interval, off)", fs)
+		}
+	}
+	return d.finish("section \"fleet\"")
+}
+
 func decodeExpect(d *dec, sp *Spec) error {
 	e := &sp.Expect
 	e.MinFindings, e.MaxFindings = Unset, Unset
@@ -864,8 +1012,8 @@ func validate(sp *Spec, expectLine int) error {
 			return errAt(s.Flows[0].Line, "explicit flows are only supported for flow-contention, incast, and clean (anomaly is %s)", s.Anomaly)
 		}
 	}
-	if sp.Mode == Analyzerd && s.MultiSeed {
-		return errAt(expectLine, "mode analyzerd requires a single seed (use \"seed:\", not \"seeds:\")")
+	if (sp.Mode == Analyzerd || sp.Mode == Fleet) && s.MultiSeed {
+		return errAt(expectLine, "mode %s requires a single seed (use \"seed:\", not \"seeds:\")", sp.Mode)
 	}
 
 	e := sp.Expect
@@ -882,7 +1030,7 @@ func validate(sp *Spec, expectLine int) error {
 		e.MinVictims != Unset || e.VictimsAreCollective ||
 		e.MinConfidence != Unset || e.MaxConfidence != Unset ||
 		e.RootLocalized
-	if !hasAny && sp.Mode != Analyzerd {
+	if !hasAny && sp.Mode == InProcess {
 		return errAt(expectLine, "section \"expect\" declares no assertions")
 	}
 	if e.RootLocalized && s.Anomaly != scenario.PFCStorm && s.Anomaly != scenario.PFCBackpressure {

@@ -152,6 +152,69 @@ func TestAnalyzerdDefaults(t *testing.T) {
 	}
 }
 
+func TestFleetDecoding(t *testing.T) {
+	sp, err := ParseSpec([]byte("mode: fleet\nscenario:\n  anomaly: clean\nfleet:\n  shards: 3\n  kill-shard: 1\n  kill-shard-after: 10\nexpect:\n  outcome: TP\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sp.Fleet
+	if f.Shards != 3 || f.KillShard != 1 || f.KillAfter != 10 || f.HoldShard != Unset {
+		t.Fatalf("fleet: %+v", f)
+	}
+	// Defaults fill in for the durability knobs.
+	if f.SnapshotEvery != 4 || f.Fsync != "always" || f.Replicas != 0 {
+		t.Fatalf("fleet defaults: %+v", f)
+	}
+
+	sp2, err := ParseSpec([]byte("mode: fleet\nscenario:\n  anomaly: clean\nfleet:\n  shards: 2\n  hold-down-shard: 0\n  replicas: 16\n  snapshot-every: 8\n  fsync: off\nexpect:\n  outcome: TP\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := sp2.Fleet
+	if f2.Shards != 2 || f2.HoldShard != 0 || f2.KillShard != Unset ||
+		f2.Replicas != 16 || f2.SnapshotEvery != 8 || f2.Fsync != "off" {
+		t.Fatalf("fleet: %+v", f2)
+	}
+}
+
+func TestFleetValidationErrors(t *testing.T) {
+	fleet := func(body string) string {
+		return "mode: fleet\nscenario:\n  anomaly: clean\nfleet:\n" + body + "expect:\n  outcome: TP\n"
+	}
+	cases := []struct{ name, src, want string }{
+		{"section without mode", "scenario:\n  anomaly: clean\nfleet:\n  shards: 2\nexpect:\n  outcome: TP\n",
+			`section "fleet" requires mode: fleet`},
+		{"mode without section", "mode: fleet\nscenario:\n  anomaly: clean\nexpect:\n  outcome: TP\n",
+			`mode fleet requires a "fleet" section`},
+		{"missing shards", fleet("  fsync: always\n"), `fleet: missing required key "shards"`},
+		{"shards too narrow", fleet("  shards: 1\n"), "fleet width must be in [2, 16], got 1"},
+		{"shards too wide", fleet("  shards: 64\n"), "fleet width must be in [2, 16], got 64"},
+		{"kill without after", fleet("  shards: 2\n  kill-shard: 0\n"), `key "kill-shard" requires "kill-shard-after"`},
+		{"after without kill", fleet("  shards: 2\n  kill-shard-after: 5\n"), `key "kill-shard-after" requires "kill-shard"`},
+		{"kill out of range", fleet("  shards: 2\n  kill-shard: 2\n  kill-shard-after: 5\n"),
+			"shard index must be in [0, 2), got 2"},
+		{"kill and hold", fleet("  shards: 2\n  kill-shard: 0\n  kill-shard-after: 5\n  hold-down-shard: 1\n"),
+			`keys "kill-shard" and "hold-down-shard" are mutually exclusive`},
+		{"hold out of range", fleet("  shards: 2\n  hold-down-shard: 7\n"), "shard index must be in [0, 2), got 7"},
+		{"bad fsync", fleet("  shards: 2\n  fsync: sometimes\n"), `unknown policy "sometimes"`},
+		{"bad replicas", fleet("  shards: 2\n  replicas: 0\n"), "must be > 0 vnodes per shard"},
+		{"unknown key", fleet("  shards: 2\n  sharding: ring\n"), `section "fleet"`},
+		{"multi-seed", "mode: fleet\nscenario:\n  anomaly: clean\n  seeds: [1, 2]\nfleet:\n  shards: 2\nexpect:\n  outcome: TP\n",
+			"mode fleet requires a single seed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("expected an error containing %q, got success", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
 func TestFlowDecoding(t *testing.T) {
 	sp, err := Load(filepath.Join("testdata", "good_flows.yaml"))
 	if err != nil {

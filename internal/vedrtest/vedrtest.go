@@ -182,6 +182,9 @@ func (r *Runner) execute(sp *spec.Spec, mode spec.Mode, scope *obs.Scope, rep *R
 		if mode == spec.Analyzerd {
 			cr.Checks = append(cr.Checks, r.runAnalyzerd(sp, cs, res)...)
 		}
+		if mode == spec.Fleet {
+			cr.Checks = append(cr.Checks, r.runFleet(sp, cs, res)...)
+		}
 		rep.Cases = append(rep.Cases, cr)
 	}
 	rep.Aggregate = aggregateChecks(sp, metrics)

@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Message type tags shared by the analyzer wire protocol and shard
+// state dumps. internal/analyzerd's TypeStep/TypeReport/TypeCF carry
+// the same values; they live here too so shard-state consumers don't
+// need the daemon package.
+const (
+	MsgStep   = "step"
+	MsgReport = "report"
+	MsgCF     = "cf"
+)
+
+// SourcedMessage is one accepted ingest message with its provenance:
+// which client submitted it and at which sequence number. Shards in a
+// diagnosis fleet retain these (instead of bare records) so that the
+// fleet aggregator can merge any subset of shard dumps into one
+// deterministic bundle — (client, seq) is stable across shard crashes,
+// resubmission, and re-sharding, which is what makes the merged
+// diagnosis byte-identical to an unbroken run.
+type SourcedMessage struct {
+	Client string      `json:"client,omitempty"`
+	Seq    int64       `json:"seq,omitempty"`
+	Type   string      `json:"type"`
+	Step   *StepRecord `json:"step,omitempty"`
+	Report *Report     `json:"report,omitempty"`
+	CF     *Flow       `json:"cf,omitempty"`
+}
+
+// ShardStateFormat is the supported shard-state dump format version.
+const ShardStateFormat = 1
+
+// ShardState is one shard daemon's complete accepted-message set, as
+// returned by the "dump" verb. Shard and Map echo the shard's position
+// in the fleet so an aggregator can detect a mis-wired dump.
+type ShardState struct {
+	Format int `json:"format"`
+	// Shard is this daemon's index in [0, Map.Shards).
+	Shard int `json:"shard"`
+	// Map is the shard map the daemon was running under.
+	Map ShardMap `json:"map"`
+	// Messages holds every accepted message in local ingest order.
+	Messages []SourcedMessage `json:"messages,omitempty"`
+}
+
+// MergeStats describes what MergeShardStates folded together.
+type MergeStats struct {
+	// Shards is the number of shard states merged.
+	Shards int
+	// Messages is the total message count across all inputs.
+	Messages int
+	// Duplicates counts messages dropped because another copy with the
+	// same (client, seq) identity was already merged.
+	Duplicates int
+	// DupCFs counts collective-flow registrations dropped because the
+	// same flow was already announced (possibly by another client).
+	DupCFs int
+	// Records, Reports, and CFs are the unique counts in the merged
+	// bundle.
+	Records int
+	Reports int
+	CFs     int
+}
+
+// MergeShardStates merges any number of shard dumps into one bundle in
+// canonical order. The order is a pure function of the merged message
+// *set* — messages sort by (client, seq, type, serialized payload) and
+// duplicate (client, seq) identities collapse — so the result is
+// byte-identical no matter how the fleet was sharded, how often shards
+// crashed and replayed their WALs, or in which order the dumps were
+// gathered.
+func MergeShardStates(states []*ShardState) (*Bundle, MergeStats) {
+	stats := MergeStats{Shards: len(states)}
+	type item struct {
+		sm  SourcedMessage
+		tie string // serialized payload, breaking ties between unsequenced messages
+	}
+	var items []item
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		stats.Messages += len(st.Messages)
+		for _, sm := range st.Messages {
+			b, err := json.Marshal(sm)
+			if err != nil {
+				b = nil // plain DTOs cannot fail to marshal; an empty tiebreak still sorts
+			}
+			items = append(items, item{sm: sm, tie: string(b)})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i], items[j]
+		if a.sm.Client != b.sm.Client {
+			return a.sm.Client < b.sm.Client
+		}
+		if a.sm.Seq != b.sm.Seq {
+			return a.sm.Seq < b.sm.Seq
+		}
+		if a.sm.Type != b.sm.Type {
+			return a.sm.Type < b.sm.Type
+		}
+		return a.tie < b.tie
+	})
+
+	bundle := &Bundle{}
+	type identity struct {
+		client string
+		seq    int64
+	}
+	seen := map[identity]bool{}
+	cfSeen := map[Flow]bool{}
+	for _, it := range items {
+		sm := it.sm
+		if sm.Client != "" && sm.Seq > 0 {
+			id := identity{client: sm.Client, seq: sm.Seq}
+			if seen[id] {
+				stats.Duplicates++
+				continue
+			}
+			seen[id] = true
+		}
+		switch {
+		case sm.Type == MsgStep && sm.Step != nil:
+			bundle.Records = append(bundle.Records, *sm.Step)
+		case sm.Type == MsgReport && sm.Report != nil:
+			bundle.Reports = append(bundle.Reports, *sm.Report)
+		case sm.Type == MsgCF && sm.CF != nil:
+			if cfSeen[*sm.CF] {
+				stats.DupCFs++
+				continue
+			}
+			cfSeen[*sm.CF] = true
+			bundle.CFs = append(bundle.CFs, *sm.CF)
+		}
+	}
+	SortFlows(bundle.CFs)
+	stats.Records = len(bundle.Records)
+	stats.Reports = len(bundle.Reports)
+	stats.CFs = len(bundle.CFs)
+	return bundle, stats
+}

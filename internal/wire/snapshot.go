@@ -25,6 +25,13 @@ type Snapshot struct {
 	Reports []Report     `json:"reports,omitempty"`
 	CFs     []Flow       `json:"cfs,omitempty"`
 	Acked   []ClientAck  `json:"acked,omitempty"`
+	// Messages replaces Records/Reports/CFs when the daemon runs as a
+	// fleet shard: shard snapshots keep each accepted message with its
+	// (client, seq) provenance so recovery can re-filter ownership
+	// against the current shard map and the aggregator can merge dumps
+	// deterministically. omitempty keeps standalone snapshots
+	// byte-identical to the pre-fleet format.
+	Messages []SourcedMessage `json:"messages,omitempty"`
 }
 
 // SortFlows sorts flows in canonical (src, dst, sport, dport, proto)

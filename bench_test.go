@@ -11,6 +11,7 @@ package vedrfolnir_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"vedrfolnir/internal/experiments"
 	"vedrfolnir/internal/fabric"
 	"vedrfolnir/internal/hostmon"
+	"vedrfolnir/internal/perf"
 	"vedrfolnir/internal/provenance"
 	"vedrfolnir/internal/rdma"
 	"vedrfolnir/internal/scenario"
@@ -31,16 +33,10 @@ import (
 	"vedrfolnir/internal/waitgraph"
 )
 
-// benchConfig is the reduced-scale experiment configuration.
+// benchConfig is the reduced-scale experiment configuration — the shared
+// perf.BenchConfig, so bench rows and vedrperf rows stay comparable.
 func benchConfig() scenario.Config {
-	cfg := scenario.DefaultConfig()
-	cfg.Scale = 1.0 / 360
-	cfg.StepBytes = cfg.ScaledBytes(360e6)
-	cfg.CellSize = 16 << 10
-	cfg.Fabric.PFCPauseThreshold = 64 << 10
-	cfg.Fabric.PFCResumeThreshold = 32 << 10
-	cfg.Fabric.ECNThreshold = 32 << 10
-	return cfg
+	return perf.BenchConfig()
 }
 
 // benchCase and benchRun adapt the error-returning scenario API for
@@ -211,28 +207,14 @@ func BenchmarkFig14CaseStudy(b *testing.B) {
 
 // --- internal/sweep worker scaling (the BENCH_sweep.json trajectory) ---
 
-// sweepBenchRow is one perf-trajectory datapoint. TestMain writes the rows
-// collected by BenchmarkSweepWorkers* to BENCH_sweep.json after a -bench
-// run, so successive PRs can compare sweep throughput at each pool size.
-type sweepBenchRow struct {
-	Bench       string  `json:"bench"`
-	Workers     int     `json:"workers"`
-	GoMaxProcs  int     `json:"gomaxprocs"`
-	Jobs        int     `json:"jobs"`
-	Cases       int     `json:"cases"`
-	CasesPerSec float64 `json:"cases_per_sec"`
-	NsPerCase   int64   `json:"ns_per_case"`
-	// Allocation footprint per simulated case (runtime.MemStats deltas
-	// across the timed loop) — the quantity the hotalloc analyzer exists
-	// to keep flat.
-	AllocsPerCase int64 `json:"allocs_per_case"`
-	BytesPerCase  int64 `json:"bytes_per_case"`
-}
-
-// sweepBenchRows is keyed by bench name; the framework reruns a bench with
-// growing b.N, and the last (largest-N) run wins. Benchmarks run
-// sequentially in one goroutine, so plain map writes are safe.
-var sweepBenchRows = map[string]sweepBenchRow{}
+// sweepBenchRows collects one perf.SweepRow per BenchmarkSweepWorkers*
+// run; TestMain writes them to BENCH_sweep.json afterwards, so successive
+// PRs can compare sweep throughput at each pool size (cmd/vedrperf reads
+// and regenerates the same schema). Keyed by bench name; the framework
+// reruns a bench with growing b.N, and the last (largest-N) run wins.
+// Benchmarks run sequentially in one goroutine, so plain map writes are
+// safe.
+var sweepBenchRows = map[string]perf.SweepRow{}
 
 func TestMain(m *testing.M) {
 	code := m.Run()
@@ -242,9 +224,20 @@ func TestMain(m *testing.M) {
 			names = append(names, name)
 		}
 		sort.Strings(names)
-		rows := make([]sweepBenchRow, 0, len(names))
+		rows := make([]perf.SweepRow, 0, len(names))
 		for _, name := range names {
-			rows = append(rows, sweepBenchRows[name])
+			row := sweepBenchRows[name]
+			// A row whose pool could not actually run in parallel measures
+			// scheduler churn, not scaling; refuse to record it silently.
+			// (benchSweepWorkers raises GOMAXPROCS, so this triggers only
+			// when the machine itself has fewer cores than the pool.)
+			if perf.Limited(row.Workers, row.GoMaxProcs, runtime.NumCPU()) && !row.EnvironmentLimited {
+				fmt.Fprintf(os.Stderr,
+					"bench: refusing unannotated environment-limited row %s (workers=%d gomaxprocs=%d numcpu=%d)\n",
+					name, row.Workers, row.GoMaxProcs, runtime.NumCPU())
+				continue
+			}
+			rows = append(rows, row)
 		}
 		if buf, err := json.MarshalIndent(rows, "", "  "); err == nil {
 			_ = os.WriteFile("BENCH_sweep.json", append(buf, '\n'), 0o644)
@@ -295,16 +288,17 @@ func benchSweepWorkers(b *testing.B, name string, workers int) {
 	elapsed := b.Elapsed()
 	casesPerSec := float64(cases) / elapsed.Seconds()
 	b.ReportMetric(casesPerSec, "cases/s")
-	sweepBenchRows[name] = sweepBenchRow{
-		Bench:         name,
-		Workers:       workers,
-		GoMaxProcs:    runtime.GOMAXPROCS(0),
-		Jobs:          len(jobs),
-		Cases:         cases,
-		CasesPerSec:   casesPerSec,
-		NsPerCase:     elapsed.Nanoseconds() / int64(cases),
-		AllocsPerCase: int64(after.Mallocs-before.Mallocs) / int64(cases),
-		BytesPerCase:  int64(after.TotalAlloc-before.TotalAlloc) / int64(cases),
+	sweepBenchRows[name] = perf.SweepRow{
+		Bench:              name,
+		Workers:            workers,
+		GoMaxProcs:         runtime.GOMAXPROCS(0),
+		Jobs:               len(jobs),
+		Cases:              cases,
+		CasesPerSec:        casesPerSec,
+		NsPerCase:          elapsed.Nanoseconds() / int64(cases),
+		AllocsPerCase:      int64(after.Mallocs-before.Mallocs) / int64(cases),
+		BytesPerCase:       int64(after.TotalAlloc-before.TotalAlloc) / int64(cases),
+		EnvironmentLimited: perf.Limited(workers, runtime.GOMAXPROCS(0), runtime.NumCPU()),
 	}
 }
 

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	vedrbench [-fig 9|10|11|12|13|14|ext|chaos|all] [-paper] [-scale N]
-//	          [-workers N] [-journal base]
+//	          [-workers N] [-journal base] [-cpuprofile f] [-memprofile f]
 //
 // By default a reduced case census runs in seconds; -paper runs the full
 // §IV-A census (60/60/40/60 cases per scenario). Case grids run on the
@@ -26,6 +26,7 @@ import (
 
 	"vedrfolnir/internal/experiments"
 	"vedrfolnir/internal/obs"
+	"vedrfolnir/internal/perf"
 	"vedrfolnir/internal/scenario"
 	"vedrfolnir/internal/sweep"
 	"vedrfolnir/internal/wire"
@@ -38,7 +39,33 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	journal := flag.String("journal", "", "checkpoint base path: each case grid journals to base.<fig>.jsonl")
 	traceDir := flag.String("trace-dir", "", "write one sim-time Chrome trace per sweep/case study into this directory")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	// Profiles are flushed explicitly (not deferred) so the partial-failure
+	// exit below still writes them; fatal() paths lose the profile.
+	var stopCPU func() error
+	if *cpuProf != "" {
+		var err error
+		if stopCPU, err = perf.StartCPUProfile(*cpuProf); err != nil {
+			fatal(err)
+		}
+	}
+	flushProfiles := func() {
+		if stopCPU != nil {
+			if err := stopCPU(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			stopCPU = nil
+		}
+		if *memProf != "" {
+			if err := perf.WriteHeapProfile(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+	defer flushProfiles()
 
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
@@ -191,6 +218,7 @@ func main() {
 		for _, f := range failed {
 			fmt.Fprintf(os.Stderr, "  %s\n", f)
 		}
+		flushProfiles()
 		os.Exit(1)
 	}
 }

@@ -5,7 +5,7 @@
 //
 //	vedrsim [-anomaly contention|incast|storm|backpressure|clean]
 //	        [-seed N] [-system vedrfolnir|hawkeye-maxr|hawkeye-minr|full-polling]
-//	        [-scale N] [-v]
+//	        [-scale N] [-v] [-stages]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"vedrfolnir/internal/obs"
+	"vedrfolnir/internal/perf"
 	"vedrfolnir/internal/scenario"
 	"vedrfolnir/internal/wire"
 )
@@ -29,6 +30,7 @@ func main() {
 	dump := flag.String("dump", "", "write the diagnosis inputs as a JSON bundle (for vedranalyze)")
 	tracePath := flag.String("trace", "", "write a sim-time Chrome trace (Perfetto-loadable) of the run")
 	logRun := flag.Bool("log", false, "emit the run's structured sim-time log on stderr")
+	stageTimes := flag.Bool("stages", false, "print hot-path stage wall-time breakdown on stderr (stdout and -dump stay byte-identical)")
 	flag.Parse()
 
 	kinds := map[string]scenario.AnomalyKind{
@@ -76,6 +78,13 @@ func main() {
 		}
 		opts.Obs = scope
 	}
+	// Stage wall times go to a dedicated registry, never the Obs scope:
+	// the -dump bundle's metrics must stay byte-identical across runs.
+	var stageReg *obs.Registry
+	if *stageTimes {
+		stageReg = obs.NewRegistry()
+		opts.Stages = obs.NewStages(stageReg, perf.NanoNow())
+	}
 	start := time.Now()
 	res, err := scenario.Run(cs, sys, cfg, opts)
 	if err != nil {
@@ -102,6 +111,14 @@ func main() {
 	}
 	fmt.Printf("detections: %d reports, %d telemetry bytes, %d bandwidth bytes\n",
 		res.ReportCount, res.Overhead.TelemetryBytes, res.Overhead.Bandwidth())
+	if stageReg != nil {
+		fmt.Fprintf(os.Stderr, "%-20s %10s %12s %10s %10s %10s\n",
+			"stage", "count", "total(ms)", "p50(us)", "p95(us)", "p99(us)")
+		for _, r := range perf.StageSummary(stageReg) {
+			fmt.Fprintf(os.Stderr, "%-20s %10d %12.1f %10.1f %10.1f %10.1f\n",
+				r.Stage, r.Count, r.TotalMs, r.P50Us, r.P95Us, r.P99Us)
+		}
+	}
 	if *tracePath != "" {
 		if err := scope.Trace.WriteFile(*tracePath); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	vedrsweep run    -journal path [-sweep fig9|fig12|fig13a|fig13b|ext|slowdowns]
-//	                 [-paper] [-scale N] [-workers N]
-//	vedrsweep resume -journal path [-workers N]
+//	                 [-paper] [-scale N] [-workers N] [-cpuprofile f] [-memprofile f]
+//	vedrsweep resume -journal path [-workers N] [-cpuprofile f] [-memprofile f]
 //	vedrsweep status -journal path
 //
 // run starts a fresh sweep and refuses an existing journal; resume picks
@@ -30,6 +30,7 @@ import (
 
 	"vedrfolnir/internal/experiments"
 	"vedrfolnir/internal/obs"
+	"vedrfolnir/internal/perf"
 	"vedrfolnir/internal/sweep"
 )
 
@@ -47,10 +48,16 @@ func main() {
 	scaleDen := fs.Float64("scale", 90, "workload scale denominator")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	obsListen := fs.String("obs-listen", "", "serve live /metrics, /debug/vars and /debug/pprof on this address while the sweep runs")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProf := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	fs.Parse(args)
 	if *journal == "" {
 		fatal(fmt.Errorf("-journal is required"))
 	}
+
+	// Profiles flush through the run/resume exit paths below (which call
+	// os.Exit, skipping defers), so execute owns them.
+	prof := profileOpts{cpu: *cpuProf, mem: *memProf}
 
 	switch cmd {
 	case "run":
@@ -61,7 +68,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		execute(plan, *journal, *workers, *obsListen)
+		execute(plan, *journal, *workers, *obsListen, prof)
 	case "resume":
 		header, _, skipped, err := sweep.ReadJournal(*journal)
 		if err != nil {
@@ -75,7 +82,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		execute(plan, *journal, *workers, *obsListen)
+		execute(plan, *journal, *workers, *obsListen, prof)
 	case "status":
 		status(*journal)
 	default:
@@ -86,7 +93,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: vedrsweep <run|resume|status> -journal path [flags]")
-	fmt.Fprintln(os.Stderr, "run flags: -sweep name -paper -scale N -workers N")
+	fmt.Fprintln(os.Stderr, "run flags: -sweep name -paper -scale N -workers N -cpuprofile f -memprofile f")
 }
 
 func fatal(err error) {
@@ -94,8 +101,43 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// profileOpts carries the optional pprof capture paths.
+type profileOpts struct{ cpu, mem string }
+
+// start begins CPU profiling (if requested) and returns a flush that
+// finishes both profiles; execute calls it before every exit path because
+// os.Exit skips defers.
+func (p profileOpts) start() func() {
+	var stopCPU func() error
+	if p.cpu != "" {
+		var err error
+		if stopCPU, err = perf.StartCPUProfile(p.cpu); err != nil {
+			fatal(err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if stopCPU != nil {
+			if err := stopCPU(); err != nil {
+				fmt.Fprintln(os.Stderr, "vedrsweep:", err)
+			}
+		}
+		if p.mem != "" {
+			if err := perf.WriteHeapProfile(p.mem); err != nil {
+				fmt.Fprintln(os.Stderr, "vedrsweep:", err)
+			}
+		}
+	}
+}
+
 // execute runs (or completes) the planned sweep against the journal.
-func execute(plan *experiments.SweepPlan, path string, workers int, obsListen string) {
+func execute(plan *experiments.SweepPlan, path string, workers int, obsListen string, prof profileOpts) {
+	flushProfiles := prof.start()
+	defer flushProfiles()
 	j, err := sweep.OpenJournal(path, plan.Spec)
 	if err != nil {
 		fatal(err)
@@ -146,6 +188,8 @@ func execute(plan *experiments.SweepPlan, path string, workers int, obsListen st
 	case sum.Interrupted:
 		fmt.Printf("interrupted: %d/%d cases journaled, %d pending; resume with:\n  vedrsweep resume -journal %s\n",
 			len(plan.Jobs)-len(sum.Pending), len(plan.Jobs), len(sum.Pending), path)
+		flushProfiles()
+		_ = j.Close()
 		os.Exit(3)
 	case len(sum.Failed) > 0:
 		fmt.Printf("done: %d cases (%d resumed from journal), %d failed:\n",
@@ -153,6 +197,8 @@ func execute(plan *experiments.SweepPlan, path string, workers int, obsListen st
 		for _, k := range sum.Failed {
 			fmt.Println(" ", k)
 		}
+		flushProfiles()
+		_ = j.Close()
 		os.Exit(1)
 	default:
 		fmt.Printf("done: %d cases (%d resumed from journal), journal compacted\n",

@@ -190,16 +190,26 @@ type Input struct {
 	// pipeline metrics. The nil default records nothing.
 	Obs   *obs.Scope
 	ObsAt simtime.Time
+	// Stages, when set, records wall-time stage histograms around the
+	// pipeline phases (perf observability); nil records nothing and the
+	// diagnosis is identical either way.
+	Stages *obs.Stages
 }
 
 // Analyze runs the full §III-D pipeline.
 func Analyze(in Input) *Diagnosis {
 	d := &Diagnosis{PerCF: map[fabric.FlowKey]map[fabric.FlowKey]float64{}}
 	tr := in.Obs.T()
+	tWait := in.Stages.WaitgraphTimer()
+	tRate := in.Stages.ProvenanceTimer()
+	tAll := in.Stages.DiagnoseTimer()
+	tDiag0 := tAll.Begin()
 
 	// 1. Waiting graph → bottleneck and critical flows.
+	tWait0 := tWait.Begin()
 	d.WaitGraph = waitgraph.Build(in.Records)
 	path, _ := d.WaitGraph.CriticalPath()
+	tWait.End(tWait0)
 	d.CriticalPath = path
 	for _, ref := range path {
 		if rec, ok := d.WaitGraph.Record(ref); ok {
@@ -217,6 +227,7 @@ func Analyze(in Input) *Diagnosis {
 	// content-equal to building one graph over the full report set —
 	// this is the same merge a sharded fleet applies across shard dumps
 	// — and the per-step graphs are reused by the rating phase below.
+	tRate0 := tRate.Begin()
 	byStep, ungrouped := groupReports(in)
 	refs := make([]waitgraph.StepRef, 0, len(byStep))
 	for ref := range byStep {
@@ -251,6 +262,7 @@ func Analyze(in Input) *Diagnosis {
 
 	// 3. Contributor rating (Eqs. 2 and 3).
 	d.rate(in, stepGraphs)
+	tRate.End(tRate0)
 	tr.Instant(obs.PidAnalyzer, 0, "phase", "rate", in.ObsAt,
 		obs.I("ratings", int64(len(d.Ratings))))
 
@@ -286,6 +298,7 @@ func Analyze(in Input) *Diagnosis {
 		m.Counter("vedr_provenance_edges_total", "flow-port and PFC edges in the aggregate provenance graph").Add(provEdges)
 		m.Gauge("vedr_diagnose_confidence_permille", "overall diagnosis confidence ×1000").Set(int64(d.Confidence * 1000))
 	}
+	tAll.End(tDiag0)
 	return d
 }
 

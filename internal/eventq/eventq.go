@@ -21,21 +21,39 @@ type Event struct {
 // never scheduled).
 func (e *Event) Canceled() bool { return e.idx < 0 }
 
+// Stats counts a queue's lifetime traffic: total pushes, pops, and
+// cancels, plus the depth high-water mark. Plain values — the queue does
+// not depend on any metrics machinery; callers export them if they care.
+type Stats struct {
+	Pushes  uint64
+	Pops    uint64
+	Cancels uint64
+	MaxLen  int
+}
+
 // Queue is a min-heap of events keyed by (At, insertion order).
 // The zero Queue is ready to use.
 type Queue struct {
-	h   eventHeap
-	seq uint64
+	h     eventHeap
+	seq   uint64
+	stats Stats
 }
 
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.h) }
+
+// Stats returns the queue's lifetime traffic counters.
+func (q *Queue) Stats() Stats { return q.stats }
 
 // Push schedules fn at time at and returns a handle that can cancel it.
 func (q *Queue) Push(at simtime.Time, fn func()) *Event {
 	q.seq++
 	e := &Event{At: at, Fn: fn, seq: q.seq}
 	heap.Push(&q.h, e)
+	q.stats.Pushes++
+	if n := len(q.h); n > q.stats.MaxLen {
+		q.stats.MaxLen = n
+	}
 	return e
 }
 
@@ -45,6 +63,7 @@ func (q *Queue) Pop() *Event {
 		return nil
 	}
 	e := heap.Pop(&q.h).(*Event)
+	q.stats.Pops++
 	return e
 }
 
@@ -63,6 +82,7 @@ func (q *Queue) Cancel(e *Event) {
 		return
 	}
 	heap.Remove(&q.h, e.idx)
+	q.stats.Cancels++
 }
 
 type eventHeap []*Event

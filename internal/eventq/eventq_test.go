@@ -129,3 +129,30 @@ func TestHeapInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStats(t *testing.T) {
+	var q Queue
+	if got := q.Stats(); got != (Stats{}) {
+		t.Fatalf("fresh queue stats = %+v, want zero", got)
+	}
+	e1 := q.Push(3, nil)
+	q.Push(1, nil)
+	q.Push(2, nil)
+	if got := q.Stats(); got.Pushes != 3 || got.MaxLen != 3 {
+		t.Errorf("after pushes: %+v, want Pushes=3 MaxLen=3", got)
+	}
+	q.Cancel(e1)
+	q.Cancel(e1) // double cancel must not double count
+	if got := q.Stats(); got.Cancels != 1 {
+		t.Errorf("cancels = %d, want 1", got.Cancels)
+	}
+	for q.Pop() != nil {
+	}
+	got := q.Stats()
+	if got.Pops != 2 {
+		t.Errorf("pops = %d, want 2 (canceled event never pops)", got.Pops)
+	}
+	if got.MaxLen != 3 {
+		t.Errorf("MaxLen = %d, want high-water mark 3 after drain", got.MaxLen)
+	}
+}

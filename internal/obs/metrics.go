@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -131,6 +132,44 @@ type Sample struct {
 	Count   int64
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) of a histogram
+// sample by linear interpolation inside the cumulative bucket holding
+// that rank — the histogram_quantile estimator. Observations are assumed
+// non-negative (the first bucket interpolates from 0). Ranks that land in
+// the implicit +Inf bucket clamp to the highest finite bound, so the
+// estimate never invents a value beyond what the buckets can resolve. An
+// empty or non-histogram sample yields 0.
+func (s Sample) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	last := s.Buckets[len(s.Buckets)-1]
+	if rank > float64(last.Count) {
+		return float64(last.Le)
+	}
+	i := sort.Search(len(s.Buckets), func(i int) bool {
+		return float64(s.Buckets[i].Count) >= rank
+	})
+	upper := float64(s.Buckets[i].Le)
+	lower, prev := 0.0, int64(0)
+	if i > 0 {
+		lower = float64(s.Buckets[i-1].Le)
+		prev = s.Buckets[i-1].Count
+	}
+	in := s.Buckets[i].Count - prev
+	if in == 0 {
+		return upper
+	}
+	return lower + (upper-lower)*(rank-float64(prev))/float64(in)
+}
+
 type metricEntry struct {
 	name string
 	help string
@@ -147,7 +186,16 @@ type metricEntry struct {
 type Registry struct {
 	mu sync.Mutex
 	by map[string]*metricEntry
+	// conflicts counts kind-mismatched re-registrations. It lives outside
+	// the by map (lookup already holds mu, and a conflict must never fail)
+	// and is synthesized into snapshots as ConflictMetric once non-zero,
+	// so misregistrations are observable instead of silently detached.
+	conflicts Counter
 }
+
+// ConflictMetric names the self-metric counting kind-mismatched
+// re-registrations (see Registry.lookup).
+const ConflictMetric = "obs_registration_conflicts"
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
@@ -157,7 +205,8 @@ func NewRegistry() *Registry {
 // lookup returns the entry for name, creating it with create when absent.
 // A name registered under a different kind yields a fresh detached entry
 // (recorded nowhere) rather than a panic — the nopanic invariant; the
-// mismatch is a programming error that surfaces as a missing metric.
+// mismatch is a programming error, surfaced by the ConflictMetric counter
+// on top of the missing metric.
 func (r *Registry) lookup(name string, kind Kind, create func() *metricEntry) *metricEntry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -165,6 +214,7 @@ func (r *Registry) lookup(name string, kind Kind, create func() *metricEntry) *m
 		if e.kind == kind {
 			return e
 		}
+		r.conflicts.Inc()
 		return create()
 	}
 	e := create()
@@ -281,12 +331,26 @@ func (r *Registry) Snapshot() []Sample {
 		}
 		out = append(out, s)
 	}
+	if c := r.conflicts.Value(); c > 0 {
+		// Synthesized only once a conflict happened, so clean registries
+		// render exactly as before; inserted in name order to keep the
+		// sorted-snapshot contract.
+		s := Sample{Name: ConflictMetric, Help: "kind-mismatched metric re-registrations",
+			Kind: KindCounter, Value: c}
+		i := sort.Search(len(out), func(i int) bool { return out[i].Name >= s.Name })
+		out = append(out, Sample{})
+		copy(out[i+1:], out[i:])
+		out[i] = s
+	}
 	return out
 }
 
 // Flatten renders the snapshot as a flat name→value map: counters and
-// gauges directly, histograms as <name>_sum and <name>_count. The map is
-// what result bundles embed (encoding/json sorts the keys).
+// gauges directly, histograms as <name>_sum, <name>_count, and one
+// cumulative `<name>_bucket{le="B"}` key per bound plus the implicit
+// `{le="+Inf"}` — the same series WritePrometheus renders, so bundles and
+// expvar carry full distributions, not just the mean. The map is what
+// result bundles embed (encoding/json sorts the keys).
 func (r *Registry) Flatten() map[string]int64 {
 	if r == nil {
 		return nil
@@ -294,6 +358,10 @@ func (r *Registry) Flatten() map[string]int64 {
 	out := map[string]int64{}
 	for _, s := range r.Snapshot() {
 		if s.Kind == KindHistogram {
+			for _, b := range s.Buckets {
+				out[fmt.Sprintf("%s_bucket{le=%q}", s.Name, strconv.FormatInt(b.Le, 10))] = b.Count
+			}
+			out[s.Name+`_bucket{le="+Inf"}`] = s.Count
 			out[s.Name+"_sum"] = s.Sum
 			out[s.Name+"_count"] = s.Count
 			continue

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"testing"
+)
+
+// fakeClock is a deterministic injected nanosecond source.
+type fakeClock struct{ t int64 }
+
+func (c *fakeClock) now() int64 { return c.t }
+
+func TestTimerObserves(t *testing.T) {
+	r := NewRegistry()
+	clk := &fakeClock{}
+	tm := NewTimer(r.Histogram("stage_ns", "", WallBuckets()), clk.now)
+	start := tm.Begin()
+	clk.t += 1000
+	tm.End(start)
+	clk.t += 5
+	start = tm.Begin()
+	clk.t += 200
+	tm.End(start)
+
+	s := r.Snapshot()[0]
+	if s.Count != 2 || s.Sum != 1200 {
+		t.Errorf("count/sum = %d/%d, want 2/1200", s.Count, s.Sum)
+	}
+	if got := s.Quantile(1); got > 1024 || got <= 512 {
+		t.Errorf("q1 = %v, want within the 1000ns bucket (512, 1024]", got)
+	}
+}
+
+func TestTimerNilSafe(t *testing.T) {
+	var tm *Timer
+	tm.End(tm.Begin()) // must not panic, must not read any clock
+
+	if NewTimer(nil, (&fakeClock{}).now) != nil {
+		t.Error("NewTimer with nil histogram should be nil")
+	}
+	if NewTimer(NewRegistry().Histogram("h", "", []int64{1}), nil) != nil {
+		t.Error("NewTimer with nil clock should be nil")
+	}
+}
+
+func TestStagesNilAndRegistration(t *testing.T) {
+	if NewStages(nil, (&fakeClock{}).now) != nil {
+		t.Error("NewStages with nil registry should be nil")
+	}
+	if NewStages(NewRegistry(), nil) != nil {
+		t.Error("NewStages with nil clock should be nil")
+	}
+	var st *Stages
+	// Every timer on a nil bundle is nil and therefore a no-op; this is
+	// the shape the kernel packages rely on for the uninstrumented path.
+	for _, tm := range []*Timer{
+		st.timer(StageEventPush), st.timer(StageDiagnose),
+	} {
+		tm.End(tm.Begin())
+	}
+
+	r := NewRegistry()
+	clk := &fakeClock{}
+	st = NewStages(r, clk.now)
+	for _, name := range StageNames() {
+		tm := st.timer(name)
+		if tm == nil {
+			t.Fatalf("stage %q has no timer", name)
+		}
+		start := tm.Begin()
+		clk.t += 100
+		tm.End(start)
+	}
+	snap := r.Snapshot()
+	if len(snap) != len(StageNames()) {
+		t.Fatalf("registered %d stage histograms, want %d", len(snap), len(StageNames()))
+	}
+	for _, s := range snap {
+		if s.Count != 1 {
+			t.Errorf("%s count = %d, want 1", s.Name, s.Count)
+		}
+	}
+	// Conflict-free: re-building stages over the same registry reuses the
+	// histograms instead of clashing.
+	NewStages(r, clk.now)
+	if got := r.Flatten()[ConflictMetric]; got != 0 {
+		t.Errorf("re-registering stages raised %d conflicts, want 0", got)
+	}
+}

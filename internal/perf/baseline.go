@@ -1,0 +1,100 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Tolerance bounds how far a measured sweep row may drift from the
+// baseline before the gate fails. Allocation counts are deterministic
+// modulo map iteration and goroutine scheduling, so they get a tight
+// fractional band; wall-time numbers swing with CI host load, so they
+// get a generous multiplicative factor.
+type Tolerance struct {
+	// AllocsFrac is the allowed fractional growth in allocs/case
+	// (default 0.01, i.e. one percent).
+	AllocsFrac float64 `json:"allocs_frac"`
+	// NsFactor is the allowed multiplicative growth in ns/case and
+	// shrink in cases/s (default 3.0).
+	NsFactor float64 `json:"ns_factor"`
+}
+
+// WithDefaults fills unset (or nonsensical) tolerance fields with the
+// documented defaults: 1% allocation growth, 3x wall-time swing.
+func (t Tolerance) WithDefaults() Tolerance {
+	if t.AllocsFrac <= 0 {
+		t.AllocsFrac = 0.01
+	}
+	if t.NsFactor <= 1 {
+		t.NsFactor = 3.0
+	}
+	return t
+}
+
+// Baseline is the checked-in perf reference (perf/baseline.json) the CI
+// gate compares fresh measurements against.
+type Baseline struct {
+	Note      string     `json:"note,omitempty"`
+	Tolerance Tolerance  `json:"tolerance"`
+	Sweep     []SweepRow `json:"sweep"`
+}
+
+// LoadBaseline reads a baseline document from path.
+func LoadBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline document to path, pretty-printed for review
+// in diffs.
+func (b *Baseline) Save(path string) error {
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: %w", err)
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// CompareSweep checks fresh sweep rows against the baseline and returns
+// one violation string per breach (empty means the gate passes). Only
+// regressions fail: rows may get faster or leaner without limit, and
+// rows measured at worker counts absent from the baseline are ignored
+// (new curve points need a baseline refresh, not a red build).
+func (b *Baseline) CompareSweep(rows []SweepRow) []string {
+	tol := b.Tolerance.WithDefaults()
+	base := make(map[int]SweepRow, len(b.Sweep))
+	for _, r := range b.Sweep {
+		base[r.Workers] = r
+	}
+	var violations []string
+	for _, r := range rows {
+		ref, ok := base[r.Workers]
+		if !ok {
+			continue
+		}
+		if maxAllocs := float64(ref.AllocsPerCase) * (1 + tol.AllocsFrac); float64(r.AllocsPerCase) > maxAllocs {
+			violations = append(violations, fmt.Sprintf(
+				"workers=%d: allocs/case %d exceeds baseline %d by more than %.1f%% (limit %.0f)",
+				r.Workers, r.AllocsPerCase, ref.AllocsPerCase, tol.AllocsFrac*100, maxAllocs))
+		}
+		if maxNs := float64(ref.NsPerCase) * tol.NsFactor; float64(r.NsPerCase) > maxNs {
+			violations = append(violations, fmt.Sprintf(
+				"workers=%d: ns/case %d exceeds baseline %d by more than %.1fx (limit %.0f)",
+				r.Workers, r.NsPerCase, ref.NsPerCase, tol.NsFactor, maxNs))
+		}
+		if minRate := ref.CasesPerSec / tol.NsFactor; r.CasesPerSec < minRate {
+			violations = append(violations, fmt.Sprintf(
+				"workers=%d: %.2f cases/s is below baseline %.2f by more than %.1fx (limit %.2f)",
+				r.Workers, r.CasesPerSec, ref.CasesPerSec, tol.NsFactor, minRate))
+		}
+	}
+	return violations
+}

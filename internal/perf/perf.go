@@ -1,0 +1,49 @@
+// Package perf is the performance-observability layer: named workloads
+// over the repo's own hot paths (the sweep worker-scaling curve, analyzer
+// diagnose latency, fleet ingest throughput), stage-timing capture via
+// obs.Stages, pprof profile capture, and the checked-in perf baseline the
+// CI regression gate compares against.
+//
+// Everything here measures *host* wall time and allocation counts — the
+// one corner of the tree where that is the point. All clock reads funnel
+// through the sanctioned simtime.Stopwatch gateway (NanoNow); simulated
+// results are never affected (see TestStagesByteIdentity in
+// internal/scenario).
+package perf
+
+import (
+	"vedrfolnir/internal/scenario"
+	"vedrfolnir/internal/simtime"
+)
+
+// NanoNow returns a monotonic nanosecond source for obs.Timer/obs.Stages,
+// backed by the sanctioned stopwatch gateway. Readings are offsets from
+// the call to NanoNow, which is all a duration timer needs.
+func NanoNow() func() int64 {
+	sw := simtime.NewSystemStopwatch()
+	return func() int64 { return int64(sw.Elapsed()) }
+}
+
+// BenchConfig is the canonical reduced workload every perf trajectory row
+// is measured against: 1/360 scale with the cell size and PFC/ECN
+// thresholds pinned (not derived), so the simulated byte stream is
+// identical across machines and PRs. bench_test.go and vedrperf must
+// agree on this or baselines stop being comparable.
+func BenchConfig() scenario.Config {
+	cfg := scenario.DefaultConfig()
+	cfg.Scale = 1.0 / 360
+	cfg.StepBytes = cfg.ScaledBytes(360e6)
+	cfg.CellSize = 16 << 10
+	cfg.Fabric.PFCPauseThreshold = 64 << 10
+	cfg.Fabric.PFCResumeThreshold = 32 << 10
+	cfg.Fabric.ECNThreshold = 32 << 10
+	return cfg
+}
+
+// BenchRunOptions returns the run options the perf rows are measured
+// under: the Fig 9 "optimal parameters" (≤5 detections per step).
+func BenchRunOptions(cfg scenario.Config) scenario.RunOptions {
+	opts := scenario.DefaultRunOptions(cfg)
+	opts.Monitor.MaxDetectPerStep = 5
+	return opts
+}

@@ -91,6 +91,12 @@ type RunOptions struct {
 	// structured logs from every layer of the run. The nil default records
 	// nothing and leaves the run byte-identical to an uninstrumented one.
 	Obs *obs.Scope
+	// Stages, when set, records wall-time histograms around the named
+	// hot-path stages (event push/pop, fabric forwarding, telemetry
+	// collection, diagnosis phases) into its own registry — never into
+	// Obs, whose Flatten lands in deterministic bundles. The nil default
+	// records nothing and leaves the run byte-identical.
+	Stages *obs.Stages
 }
 
 // DefaultRunOptions returns each system's paper operating point, adapted to
@@ -129,6 +135,10 @@ func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) (Result, error
 		fcfg = fabric.DefaultConfig()
 	}
 	net := fabric.NewNetwork(k, ft.Topology, fcfg)
+	if opts.Stages != nil {
+		k.SetStages(opts.Stages)
+		net.SetStages(opts.Stages)
+	}
 
 	rcfg := rdma.DefaultConfig()
 	rcfg.CellSize = cfg.CellSize
@@ -197,6 +207,16 @@ func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) (Result, error
 
 	if opts.Obs.Enabled() {
 		instrumentRun(opts.Obs, run, sys, ranks)
+	}
+	if opts.Stages != nil {
+		switch {
+		case sys != nil:
+			sys.Col.SetStages(opts.Stages)
+		case hk != nil:
+			hk.Col.SetStages(opts.Stages)
+		case fp != nil:
+			fp.Col.SetStages(opts.Stages)
+		}
 	}
 
 	// Wire the fault-injection layer. Every hook is nil by default, so an
@@ -320,6 +340,7 @@ func Run(cs Case, system SystemKind, cfg Config, opts RunOptions) (Result, error
 		PollsLost:       pollsLost,
 		Obs:             opts.Obs,
 		ObsAt:           k.Now(),
+		Stages:          opts.Stages,
 	})
 	if opts.Obs.Enabled() {
 		recordRunObs(opts.Obs, k, net, totals(), ch, doneAt, completed)

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"vedrfolnir/internal/eventq"
+	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/simtime"
 )
 
@@ -20,7 +21,12 @@ type Kernel struct {
 	stopped bool
 	events  uint64
 	limit   uint64
-	maxq    int
+
+	// Wall-time stage timers (perf observability). Nil by default: a nil
+	// *obs.Timer no-ops, so the uninstrumented hot path pays one nil check
+	// and the simulated outcome is identical either way.
+	tPush *obs.Timer
+	tPop  *obs.Timer
 }
 
 // New returns a kernel whose random source is seeded with seed, so two runs
@@ -43,6 +49,20 @@ func (k *Kernel) Events() uint64 { return k.events }
 // without TTL) in tests.
 func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
 
+// SetStages installs wall-time stage timers around the scheduler's
+// push/pop hot path. A nil bundle (the default) disables them; timing
+// never influences the simulation, only the profiling histograms.
+func (k *Kernel) SetStages(st *obs.Stages) {
+	if st == nil {
+		k.tPush, k.tPop = nil, nil
+		return
+	}
+	k.tPush, k.tPop = st.EventPush, st.EventPop
+}
+
+// QueueStats returns the event queue's lifetime traffic counters.
+func (k *Kernel) QueueStats() eventq.Stats { return k.q.Stats() }
+
 // At schedules fn to run at absolute time at. Scheduling in the past is a
 // programming error and panics, since it would silently reorder causality.
 func (k *Kernel) At(at simtime.Time, fn func()) *eventq.Event {
@@ -50,10 +70,9 @@ func (k *Kernel) At(at simtime.Time, fn func()) *eventq.Event {
 		//lint:ignore nopanic causality invariant: a past-dated event would silently reorder the run; documented API contract
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, k.now))
 	}
+	t0 := k.tPush.Begin()
 	e := k.q.Push(at, fn)
-	if n := k.q.Len(); n > k.maxq {
-		k.maxq = n
-	}
+	k.tPush.End(t0)
 	return e
 }
 
@@ -77,11 +96,14 @@ func (k *Kernel) Stop() { k.stopped = true }
 func (k *Kernel) Run(until simtime.Time) simtime.Time {
 	k.stopped = false
 	for !k.stopped {
+		t0 := k.tPop.Begin()
 		e := k.q.Peek()
 		if e == nil || e.At > until {
+			k.tPop.End(t0)
 			break
 		}
 		k.q.Pop()
+		k.tPop.End(t0)
 		k.now = e.At
 		k.events++
 		if k.limit > 0 && k.events > k.limit {
@@ -105,4 +127,4 @@ func (k *Kernel) Pending() int { return k.q.Len() }
 
 // MaxPending returns the high-water mark of the event queue depth — how
 // deep the scheduler backlog ever got during the run.
-func (k *Kernel) MaxPending() int { return k.maxq }
+func (k *Kernel) MaxPending() int { return k.q.Stats().MaxLen }

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/obs"
 	"vedrfolnir/internal/simtime"
 	"vedrfolnir/internal/topo"
 )
@@ -140,6 +141,20 @@ type Collector struct {
 
 	// Totals accumulates overhead across all polls through this collector.
 	Totals Overhead
+
+	// tCollect is the wall-time stage timer around each poll (perf
+	// observability); nil (the default) no-ops.
+	tCollect *obs.Timer
+}
+
+// SetStages installs wall-time stage timers on the collection path; a nil
+// bundle disables them.
+func (c *Collector) SetStages(st *obs.Stages) {
+	if st == nil {
+		c.tCollect = nil
+		return
+	}
+	c.tCollect = st.TelemetryCollect
 }
 
 // NewCollector creates a collector over the network's switches.
@@ -202,6 +217,8 @@ func (c *Collector) baseline() {
 // Collection is modelled as an instantaneous snapshot at poll time; the
 // propagation latency of queries does not affect what the counters held.
 func (c *Collector) Poll(flow fabric.FlowKey, window simtime.Duration) *Report {
+	t0 := c.tCollect.Begin()
+	defer c.tCollect.End(t0)
 	now := c.Net.K.Now()
 	rep := &Report{At: now, TriggeredBy: flow}
 
@@ -243,6 +260,8 @@ func (c *Collector) Poll(flow fabric.FlowKey, window simtime.Duration) *Report {
 // PollAllSwitches collects every egress port of every switch — the
 // full-polling baseline's per-epoch collection.
 func (c *Collector) PollAllSwitches(window simtime.Duration) *Report {
+	t0 := c.tCollect.Begin()
+	defer c.tCollect.End(t0)
 	rep := &Report{At: c.Net.K.Now()}
 	for _, sw := range c.Net.Topo.Switches() {
 		for pi := range c.Net.Topo.Node(sw).Ports {

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"vedrfolnir/internal/analyzerd"
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/topo"
 	"vedrfolnir/internal/wire"
 )
 
@@ -138,6 +140,147 @@ func TestClusterKillRecoverDiagnosisIdentical(t *testing.T) {
 					shard, strings.Join(got, "\n"), strings.Join(want, "\n"))
 			}
 		})
+	}
+}
+
+// TestClusterResizeDiagnosisIdentical is the real-binary elastic
+// contract: a cluster that live-rebalances 2 -> 4 shards mid-ingest —
+// including runs where a shard is SIGKILLed at each rebalance cut point
+// and supervised back onto its WAL — drains output byte-identical to an
+// unbroken fixed-width run's. (Under the 2- and 4-wide rings, hosts h02
+// and h05 change owners, so the handoff path genuinely carries state.)
+func TestClusterResizeDiagnosisIdentical(t *testing.T) {
+	ref, ok := startDaemon(t, "-cluster", "2", "-listen", "127.0.0.1:0")
+	if !ok {
+		t.Fatal("reference cluster failed to start")
+	}
+	refClients, refSends := clusterHosts(t, ref.addr)
+	for i, send := range refSends {
+		if err := send(); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	closeClients(t, refClients)
+	want := ref.terminate(t)
+	if len(want) == 0 || !strings.HasPrefix(want[0], "ingested: ") {
+		t.Fatalf("unexpected reference output: %q", want)
+	}
+
+	resizeRun := func(t *testing.T, extra ...string) {
+		args := append([]string{"-cluster", "2", "-listen", "127.0.0.1:0",
+			"-resize-to", "4", "-resize-after", "6",
+			"-wal-dir", t.TempDir(), "-fsync", "always", "-snapshot-every", "3"}, extra...)
+		d, ok := startDaemon(t, args...)
+		if !ok {
+			t.Fatal("cluster failed to start")
+		}
+		clients, sends := clusterHosts(t, d.addr)
+		// Land the first six acks to trip the -resize-after trigger,
+		// then keep streaming across the live rebalance.
+		for i := 0; i < 6; i++ {
+			if err := sends[i](); err != nil {
+				t.Fatalf("send %d: %v", i, err)
+			}
+		}
+		for _, rc := range clients {
+			if err := rc.Flush(); err != nil {
+				t.Fatalf("flush at the resize trigger: %v", err)
+			}
+		}
+		for i := 6; i < len(sends); i++ {
+			if err := sends[i](); err != nil {
+				t.Fatalf("send %d: %v", i, err)
+			}
+		}
+		closeClients(t, clients)
+		got := d.terminate(t)
+		if !slicesEqual(got, want) {
+			t.Fatalf("resized run output differs:\n%s\nvs reference\n%s",
+				strings.Join(got, "\n"), strings.Join(want, "\n"))
+		}
+		if !d.sawResize(4) {
+			t.Fatal("cluster never reported the resize")
+		}
+	}
+
+	t.Run("unbroken-resize", func(t *testing.T) { resizeRun(t) })
+	for _, kill := range []struct {
+		phase string
+		shard int
+	}{
+		{"before-quiesce", 0}, // a donor dies before the fence goes up
+		{"during-handoff", 1}, // a donor dies with its dump taken, map not yet flipped
+		{"after-flip", 3},     // the adoptee dies right after re-admission
+	} {
+		kill := kill
+		t.Run(fmt.Sprintf("kill-shard-%d-%s", kill.shard, kill.phase), func(t *testing.T) {
+			resizeRun(t, "-rebalance-kill", fmt.Sprintf("%s:%d", kill.phase, kill.shard))
+		})
+	}
+}
+
+// sawResize reports whether the cluster printed its resize report for
+// the given target width (the line the output() filter hides from the
+// byte-identity comparisons).
+func (d *daemon) sawResize(to int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	want := fmt.Sprintf("resized to %d shards", to)
+	for _, l := range d.lines {
+		if strings.HasPrefix(l, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClusterTenantAccounting: with -tenant-rate, a 32-client tenant
+// saturating the router is throttled to its budget (losing nothing)
+// while an interleaved quiet tenant rides free, and the drain prints
+// the per-tenant accounting.
+func TestClusterTenantAccounting(t *testing.T) {
+	d, ok := startDaemon(t, "-cluster", "2", "-listen", "127.0.0.1:0",
+		"-tenant-rate", "25", "-tenant-burst", "4")
+	if !ok {
+		t.Fatal("cluster failed to start")
+	}
+	send := func(id string, i int) {
+		rc, err := analyzerd.NewReliableClient(d.addr, analyzerd.ClientConfig{
+			ID: id, MaxAttempts: 40,
+			BackoffBase: 20 * time.Millisecond, BackoffMax: 500 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("client %s: %v", id, err)
+		}
+		cf := fabric.FlowKey{Src: topo.NodeID(i + 1), Dst: topo.NodeID(i + 2), SrcPort: 7, DstPort: 8, Proto: 17}
+		if err := rc.SendCF(cf); err != nil {
+			t.Fatalf("%s send: %v", id, err)
+		}
+		if err := rc.Close(); err != nil {
+			t.Fatalf("%s close: %v", id, err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		send(fmt.Sprintf("hog/c%02d", i), i)
+		if i%8 == 0 {
+			send(fmt.Sprintf("quiet/q%02d", i/8), 100+i)
+		}
+	}
+	out := d.terminate(t)
+	wantHog := "tenant hog: 32 clients, 0 records, 0 reports, 32 flows"
+	wantQuiet := "tenant quiet: 4 clients, 0 records, 0 reports, 4 flows"
+	var gotHog, gotQuiet bool
+	for _, l := range out {
+		if l == wantHog {
+			gotHog = true
+		}
+		if l == wantQuiet {
+			gotQuiet = true
+		}
+	}
+	if !gotHog || !gotQuiet {
+		t.Fatalf("per-tenant drain accounting missing:\nwant %q and %q in\n%s",
+			wantHog, wantQuiet, strings.Join(out, "\n"))
 	}
 }
 

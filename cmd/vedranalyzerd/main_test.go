@@ -106,7 +106,7 @@ func (d *daemon) output() []string {
 	var out []string
 	for _, l := range d.lines {
 		if strings.HasPrefix(l, "shrugged off:") || strings.HasPrefix(l, "backpressure:") ||
-			strings.HasPrefix(l, "shard ") {
+			strings.HasPrefix(l, "shard ") || strings.HasPrefix(l, "resized ") {
 			continue
 		}
 		out = append(out, l)

@@ -62,17 +62,27 @@ type Message struct {
 	CF     *wire.Flow       `json:"cf,omitempty"`
 	Seq    int64            `json:"seq,omitempty"`
 	Client string           `json:"client,omitempty"`
+	// Map is the remap/resize verb payload: the shard map to install.
+	Map *wire.ShardMap `json:"map,omitempty"`
+	// Handoff is the adopt verb payload: moved-client state to absorb.
+	Handoff *wire.Handoff `json:"handoff,omitempty"`
 }
 
 // Protocol message types. The ingest payloads (step/report/cf) mirror
 // wire.MsgStep/MsgReport/MsgCF; "dump" is a connection-level query — a
 // fleet aggregator asks a shard for its full accepted-message state and
 // gets one wire.ShardState JSON line back (never WAL'd, never acked).
+// The rebalance verbs are admin-plane: "remap" installs a newer-epoch
+// shard map at a shard, "adopt" hands a shard moved-client state, and
+// "resize" asks a fleet *router* to rebalance to Map.Shards shards.
 const (
 	TypeStep   = "step"
 	TypeReport = "report"
 	TypeCF     = "cf"
 	TypeDump   = "dump"
+	TypeRemap  = "remap"
+	TypeAdopt  = "adopt"
+	TypeResize = "resize"
 )
 
 // ParseMessage decodes and validates one protocol line: known type, the
@@ -121,8 +131,34 @@ func ParseMessage(line []byte) (*Message, error) {
 		if msg.Seq != 0 {
 			return nil, errors.New("dump message cannot be sequenced")
 		}
+	case TypeRemap, TypeResize:
+		if payloads != 0 || msg.Handoff != nil {
+			return nil, fmt.Errorf("%s message carries a payload", msg.Type)
+		}
+		if msg.Map == nil {
+			return nil, fmt.Errorf("%s message without a map", msg.Type)
+		}
+		if msg.Seq != 0 {
+			return nil, fmt.Errorf("%s message cannot be sequenced", msg.Type)
+		}
+	case TypeAdopt:
+		if payloads != 0 || msg.Map != nil {
+			return nil, errors.New("adopt message carries a payload")
+		}
+		if msg.Handoff == nil {
+			return nil, errors.New("adopt message without a handoff")
+		}
+		if msg.Seq != 0 {
+			return nil, errors.New("adopt message cannot be sequenced")
+		}
 	default:
 		return nil, fmt.Errorf("unknown message type %q", msg.Type)
+	}
+	if msg.Type != TypeRemap && msg.Type != TypeResize && msg.Map != nil {
+		return nil, fmt.Errorf("%s message carries a shard map", msg.Type)
+	}
+	if msg.Type != TypeAdopt && msg.Handoff != nil {
+		return nil, fmt.Errorf("%s message carries a handoff", msg.Type)
 	}
 	return &msg, nil
 }
@@ -243,6 +279,13 @@ type ServerStats struct {
 	// shard; they were NACKed with the owning shard index (shard mode
 	// only).
 	Moved int64
+	// Remaps counts shard maps installed live via the remap verb.
+	Remaps int64
+	// Adopted counts messages absorbed from rebalance handoffs.
+	Adopted int64
+	// StaleEpochs counts remap/adopt deliveries rejected because their
+	// map epoch was behind the shard's.
+	StaleEpochs int64
 }
 
 // clientState is everything the server remembers about one submitting
@@ -297,10 +340,20 @@ type Server struct {
 	stopped  bool                    // guarded by mu
 
 	// ring is the consistent-hash ownership function in shard mode (nil
-	// otherwise); sourced retains every accepted message with its
-	// (client, seq) provenance, in ingest order, for dumps and shard
-	// snapshots.
-	ring    *wire.HashRing
+	// otherwise) and shardMap the map it was built from; both are
+	// guarded by shardMu because a live rebalance swaps them via the
+	// remap verb while connection handlers consult ownership. Lock
+	// order: mu before shardMu (never the reverse). Whether the server
+	// is in shard mode at all is immutable — check cfg.Shard, not ring.
+	shardMu  sync.RWMutex
+	ring     *wire.HashRing
+	shardMap wire.ShardMap
+	// adoptedEpochs records, per donor shard, the newest handoff epoch
+	// fully absorbed, making a re-delivered adopt idempotent when the
+	// reply (not the work) was lost. Guarded by mu.
+	adoptedEpochs map[int]int64
+	// sourced retains every accepted message with its (client, seq)
+	// provenance, in ingest order, for dumps and shard snapshots.
 	sourced []wire.SourcedMessage // guarded by mu
 
 	// wal and sinceSnap are owned by the applier goroutine (and by
@@ -361,6 +414,8 @@ func ServeWith(addr string, cfg ServerConfig) (*Server, error) {
 			return nil, err
 		}
 		s.ring = ring
+		s.shardMap = cfg.Shard.Map
+		s.adoptedEpochs = make(map[int]int64)
 	}
 	if cfg.Durability != nil {
 		if err := s.openDurability(*cfg.Durability); err != nil {
@@ -707,6 +762,10 @@ func (s *Server) handle(conn net.Conn) {
 			s.replyDump(conn)
 			continue
 		}
+		if msg.Type == TypeRemap || msg.Type == TypeAdopt || msg.Type == TypeResize {
+			s.handleAdmin(conn, msg)
+			continue
+		}
 		if owner, ok := s.disownedBy(msg.Client); ok {
 			s.count(func(st *ServerStats) { st.Moved++ })
 			s.log.Warn("client belongs to another shard", "peer", peer,
@@ -832,6 +891,14 @@ func (s *Server) applier() {
 
 func (s *Server) apply(item ingestItem) {
 	msg := item.msg
+	switch msg.Type {
+	case TypeRemap:
+		s.applyRemap(item)
+		return
+	case TypeAdopt:
+		s.applyAdopt(item)
+		return
+	}
 	if msg.Seq > 0 {
 		s.mu.Lock()
 		var acked, retryLow int64
@@ -940,7 +1007,7 @@ func (s *Server) buildSnapshot() wire.Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := wire.Snapshot{Format: wire.SnapshotFormat, NextLSN: s.wal.nextLSN}
-	if s.ring != nil {
+	if s.cfg.Shard != nil {
 		// Shard mode persists the sourced message stream instead of the
 		// derived record/report/cf state: recovery re-ingests the
 		// messages, which re-derives the state *and* re-checks ownership
@@ -1157,7 +1224,7 @@ func (s *Server) ingest(msg *Message) error {
 	default:
 		return fmt.Errorf("unknown message type %q", msg.Type)
 	}
-	if s.ring != nil {
+	if s.cfg.Shard != nil {
 		s.sourced = append(s.sourced, sourcedFromMessage(msg))
 	}
 	return nil

@@ -1,0 +1,262 @@
+package analyzerd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"vedrfolnir/internal/fabric"
+	"vedrfolnir/internal/waitgraph"
+	"vedrfolnir/internal/wire"
+)
+
+// Shard-side half of a live fleet rebalance. The router drives the
+// protocol: it dumps donors, slices the dumps into wire.Handoff units,
+// delivers each to its target with the "adopt" verb, and finally
+// installs the new map at every surviving shard with "remap". Both
+// verbs run on the applier goroutine — the same serialization point as
+// ingest — so the WAL, snapshots, and the sourced stream never see a
+// concurrent writer.
+
+// handleAdmin routes the rebalance verbs off the connection handler.
+// resize is router-only and always an error here; remap/adopt enqueue
+// for the applier exactly like ingest, with the same overload NACK so
+// a saturated shard sheds the (retryable) admin verb instead of
+// deadlocking behind its own queue.
+func (s *Server) handleAdmin(conn net.Conn, msg *Message) {
+	if msg.Type == TypeResize {
+		s.replyf(conn, `{"error":"resize targets the fleet router, not a shard"}`+"\n")
+		return
+	}
+	if s.cfg.Shard == nil {
+		s.replyf(conn, `{"error":"not a fleet shard"}`+"\n")
+		return
+	}
+	item := ingestItem{msg: msg, conn: conn}
+	select {
+	case s.queue <- item:
+	default:
+		s.count(func(st *ServerStats) { st.Overloaded++ })
+		s.log.Warn("ingest queue full, shedding admin verb", "type", msg.Type)
+		s.replyf(conn, `{"error":"overloaded","retry":true}`+"\n")
+	}
+}
+
+// applyRemap installs a newer-epoch shard map live: the ownership ring
+// is swapped, retained messages and ack windows for clients the new
+// map assigns elsewhere are dropped (they were handed off first — the
+// router orders adopt before the donor's remap), and the derived
+// diagnosis state is rebuilt from the kept sourced stream. Stale
+// epochs are rejected; a re-delivery of the current map is an
+// idempotent success, so the router can retry through a kill.
+func (s *Server) applyRemap(item ingestItem) {
+	next := *item.msg.Map
+	cur := s.curShardMap()
+	switch {
+	case next.Epoch < cur.Epoch:
+		s.count(func(st *ServerStats) { st.StaleEpochs++ })
+		s.log.Warn("stale remap rejected", "epoch", next.Epoch, "current", cur.Epoch)
+		s.replyf(item.conn, `{"error":%q}`+"\n",
+			fmt.Sprintf("stale shard map epoch %d (shard at epoch %d)", next.Epoch, cur.Epoch))
+		return
+	case next.Epoch == cur.Epoch:
+		if next == cur {
+			// Retried delivery of the map already installed.
+			s.replyf(item.conn, `{"remapped":true,"epoch":%d,"reassigned":0}`+"\n", cur.Epoch)
+		} else {
+			s.replyf(item.conn, `{"error":%q}`+"\n",
+				fmt.Sprintf("conflicting shard map at epoch %d", cur.Epoch))
+		}
+		return
+	}
+	ring, err := wire.NewHashRing(next)
+	if err != nil {
+		s.replyf(item.conn, `{"error":%q}`+"\n", err.Error())
+		return
+	}
+	if s.cfg.Shard.Index >= next.Shards {
+		// A shrink stops removed shards; it never remaps them — a shard
+		// must not install a map that disowns everything it holds.
+		s.replyf(item.conn, `{"error":%q}`+"\n",
+			fmt.Sprintf("map of %d shards removes shard %d", next.Shards, s.cfg.Shard.Index))
+		return
+	}
+	reassigned := s.installMap(next, ring)
+	s.count(func(st *ServerStats) { st.Remaps++ })
+	s.log.Info("shard map installed", "epoch", next.Epoch, "shards", next.Shards, "reassigned", reassigned)
+	if s.wal != nil {
+		// Cutover durability rides on the restart arguments (the
+		// supervisor rewrites them before sending remap); the snapshot
+		// just compacts the moved clients out of the WAL now instead of
+		// on the next recovery.
+		if err := s.snapshotNow(); err != nil {
+			s.log.Warn("post-remap snapshot failed", "err", err.Error())
+		} else {
+			s.sinceSnap = 0
+		}
+	}
+	s.replyf(item.conn, `{"remapped":true,"epoch":%d,"reassigned":%d}`+"\n", next.Epoch, reassigned)
+}
+
+// installMap swaps the ring and re-derives all in-memory state from
+// the sourced messages the new map still assigns here, returning how
+// many retained messages were dropped as reassigned.
+func (s *Server) installMap(next wire.ShardMap, ring *wire.HashRing) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shardMu.Lock()
+	s.shardMap, s.ring = next, ring
+	s.shardMu.Unlock()
+	index := s.cfg.Shard.Index
+	old := s.sourced
+	kept := make([]wire.SourcedMessage, 0, len(old))
+	reassigned := 0
+	for _, sm := range old {
+		if sm.Client != "" && ring.Owner(sm.Client) != index {
+			reassigned++
+			continue
+		}
+		kept = append(kept, sm)
+	}
+	s.records, s.reports, s.sourced = nil, nil, nil
+	s.cfs = make(map[fabric.FlowKey]bool)
+	s.stepIndex = make(map[fabric.FlowKey]waitgraph.StepRef)
+	for _, sm := range kept {
+		if err := s.ingest(messageFromSourced(sm)); err != nil {
+			// Every retained message was ingested once already; failing
+			// now means memory corruption — surface it, don't hide it.
+			s.log.Warn("remap: dropping unreplayable retained message",
+				"client", sm.Client, "seq", sm.Seq, "err", err.Error())
+		}
+	}
+	for id := range s.clients {
+		if id != "" && ring.Owner(id) != index {
+			delete(s.clients, id) // the new owner holds this window now
+		}
+	}
+	return reassigned
+}
+
+// applyAdopt absorbs one handoff: the moved clients' retained messages
+// are WAL-appended (so a crash replays them) and re-ingested, and
+// their ack highwaters install as dedup baselines. The handoff must
+// carry exactly the shard's current map — behind is stale, ahead means
+// the router's remap is still in flight (retryable). A re-delivered
+// handoff from the same donor at the same epoch short-circuits, so
+// retries through a mid-adopt kill stay exactly-once for sequenced
+// streams.
+func (s *Server) applyAdopt(item ingestItem) {
+	h := item.msg.Handoff
+	cur := s.curShardMap()
+	index := s.cfg.Shard.Index
+	switch {
+	case h.Format != wire.HandoffFormat:
+		s.replyf(item.conn, `{"error":%q}`+"\n",
+			fmt.Sprintf("unsupported handoff format %d", h.Format))
+		return
+	case h.To != index:
+		s.replyf(item.conn, `{"error":%q}`+"\n",
+			fmt.Sprintf("handoff targets shard %d, this is shard %d", h.To, index))
+		return
+	case h.Map.Epoch < cur.Epoch:
+		s.count(func(st *ServerStats) { st.StaleEpochs++ })
+		s.replyf(item.conn, `{"error":%q}`+"\n",
+			fmt.Sprintf("stale handoff epoch %d (shard at epoch %d)", h.Map.Epoch, cur.Epoch))
+		return
+	case h.Map.Epoch > cur.Epoch:
+		s.replyf(item.conn, `{"error":%q,"retry":true}`+"\n",
+			fmt.Sprintf("handoff epoch %d ahead of shard epoch %d", h.Map.Epoch, cur.Epoch))
+		return
+	case h.Map != cur:
+		s.replyf(item.conn, `{"error":%q}`+"\n",
+			fmt.Sprintf("conflicting shard map at epoch %d", cur.Epoch))
+		return
+	}
+	s.mu.Lock()
+	already := s.adoptedEpochs[h.From] >= h.Map.Epoch
+	s.mu.Unlock()
+	if already {
+		s.replyf(item.conn, `{"adopted":0,"epoch":%d}`+"\n", h.Map.Epoch)
+		return
+	}
+	// Validate the whole handoff against the installed ring before
+	// mutating anything: a single misrouted client means the artifact
+	// belongs to a different rebalance.
+	ring := func(client string) int {
+		s.shardMu.RLock()
+		defer s.shardMu.RUnlock()
+		return s.ring.Owner(client)
+	}
+	for _, sm := range h.Messages {
+		if sm.Client == "" || ring(sm.Client) != index {
+			s.replyf(item.conn, `{"error":%q}`+"\n",
+				fmt.Sprintf("handoff carries client %q this shard does not own", sm.Client))
+			return
+		}
+	}
+	for _, hc := range h.Clients {
+		if hc.Client == "" || ring(hc.Client) != index {
+			s.replyf(item.conn, `{"error":%q}`+"\n",
+				fmt.Sprintf("handoff carries client %q this shard does not own", hc.Client))
+			return
+		}
+	}
+	adopted := 0
+	for _, sm := range h.Messages {
+		s.mu.Lock()
+		dup := sm.Seq > 0 && sm.Seq <= s.clientAcked(sm.Client)
+		s.mu.Unlock()
+		if dup {
+			continue // an earlier (partially crashed) adopt already took it
+		}
+		msg := messageFromSourced(sm)
+		if s.wal != nil {
+			raw, err := json.Marshal(msg)
+			if err == nil {
+				_, err = s.wal.Append(raw)
+			}
+			if err != nil {
+				s.count(func(st *ServerStats) { st.WALErrors++ })
+				s.log.Warn("adopt WAL append failed", "err", err.Error())
+				s.replyf(item.conn, `{"error":%q,"retry":true}`+"\n", err.Error())
+				return
+			}
+		}
+		s.mu.Lock()
+		if err := s.ingest(msg); err != nil {
+			// Mirror apply()'s permanent-rejection contract: the message
+			// is handled (dropped) and the highwater still advances, so
+			// the stream cannot wedge on the hole.
+			s.stats.Rejected++
+			s.log.Warn("adopt: message rejected", "client", sm.Client, "seq", sm.Seq, "err", err.Error())
+		}
+		if sm.Seq > 0 {
+			s.markAcked(sm.Client, sm.Seq)
+		}
+		s.mu.Unlock()
+		adopted++
+	}
+	s.mu.Lock()
+	for _, hc := range h.Clients {
+		if hc.Acked > 0 {
+			s.markAcked(hc.Client, hc.Acked)
+		}
+	}
+	s.adoptedEpochs[h.From] = h.Map.Epoch
+	s.stats.Adopted += int64(adopted)
+	s.mu.Unlock()
+	s.log.Info("handoff adopted", "from", h.From, "epoch", h.Map.Epoch,
+		"messages", adopted, "clients", len(h.Clients))
+	if s.wal != nil {
+		// Make the adoption (including bare ack baselines, which the WAL
+		// does not carry) durable before acknowledging it; on failure the
+		// router retries and the dedup above keeps it exactly-once.
+		if err := s.snapshotNow(); err != nil {
+			s.log.Warn("post-adopt snapshot failed", "err", err.Error())
+			s.replyf(item.conn, `{"error":%q,"retry":true}`+"\n", err.Error())
+			return
+		}
+		s.sinceSnap = 0
+	}
+	s.replyf(item.conn, `{"adopted":%d,"epoch":%d}`+"\n", adopted, h.Map.Epoch)
+}

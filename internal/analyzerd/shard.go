@@ -30,24 +30,42 @@ func (c *ShardConfig) ring() (*wire.HashRing, error) {
 
 // disownedBy reports whether client is a named client the shard map
 // assigns to a different shard, and which one. Always false outside
-// shard mode and for unnamed (peer-keyed) submissions.
+// shard mode and for unnamed (peer-keyed) submissions. The ring is
+// read under shardMu: a live remap may swap it at any time.
 func (s *Server) disownedBy(client string) (owner int, moved bool) {
-	if s.ring == nil || client == "" {
+	if s.cfg.Shard == nil || client == "" {
 		return 0, false
 	}
-	owner = s.ring.Owner(client)
+	s.shardMu.RLock()
+	ring := s.ring
+	s.shardMu.RUnlock()
+	owner = ring.Owner(client)
 	return owner, owner != s.cfg.Shard.Index
 }
 
+// curShardMap returns the map the shard is currently running under.
+func (s *Server) curShardMap() wire.ShardMap {
+	s.shardMu.RLock()
+	defer s.shardMu.RUnlock()
+	return s.shardMap
+}
+
 // replyMoved NACKs a submission for a client another shard owns. The
-// reply is retryable — the client (or the router on its behalf) should
-// redial the owning shard and resubmit, so the message is not lost.
+// reply is retryable and announces the owner index plus the shard map
+// it was derived from, so a ReliableClient (or the router on its
+// behalf) can rehash, redial the owning shard, and resubmit — the
+// message is not lost.
 func (s *Server) replyMoved(conn net.Conn, seq int64, client string, owner int) {
 	reason := fmt.Sprintf("client %q belongs to shard %d", client, owner)
+	m, err := json.Marshal(s.curShardMap())
+	if err != nil {
+		m = []byte("{}") // a flat int struct cannot fail to marshal
+	}
 	if seq > 0 {
-		s.replyf(conn, `{"nak":%d,"moved":true,"error":%q,"retry":true}`+"\n", seq, reason)
+		s.replyf(conn, `{"nak":%d,"moved":true,"owner":%d,"map":%s,"error":%q,"retry":true}`+"\n",
+			seq, owner, m, reason)
 	} else {
-		s.replyf(conn, `{"moved":true,"error":%q,"retry":true}`+"\n", reason)
+		s.replyf(conn, `{"moved":true,"owner":%d,"map":%s,"error":%q,"retry":true}`+"\n", owner, m, reason)
 	}
 }
 
@@ -56,7 +74,7 @@ func (s *Server) replyMoved(conn net.Conn, seq int64, client string, owner int) 
 // the verb is an error — a standalone daemon does not retain message
 // provenance.
 func (s *Server) replyDump(conn net.Conn) {
-	if s.ring == nil {
+	if s.cfg.Shard == nil {
 		s.replyf(conn, `{"error":"not a fleet shard"}`+"\n")
 		return
 	}
@@ -70,16 +88,18 @@ func (s *Server) replyDump(conn net.Conn) {
 	s.replyf(conn, "%s", b)
 }
 
-// ShardState returns the shard's accepted messages (ingest order) with
-// its position in the fleet. Only meaningful in shard mode; a
-// standalone server returns an empty state.
+// ShardState returns the shard's accepted messages (ingest order) and
+// per-client ack highwaters, with its position in the fleet under the
+// *current* (possibly remapped) shard map. Only meaningful in shard
+// mode; a standalone server returns an empty state.
 func (s *Server) ShardState() *wire.ShardState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	state := &wire.ShardState{Format: wire.ShardStateFormat}
 	if s.cfg.Shard != nil {
 		state.Shard = s.cfg.Shard.Index
-		state.Map = s.cfg.Shard.Map
+		state.Map = s.curShardMap()
+		state.Acked = s.ackedLocked()
 	}
 	state.Messages = append(state.Messages, s.sourced...)
 	return state

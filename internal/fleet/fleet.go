@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
@@ -50,6 +51,25 @@ type Config struct {
 	HoldShard int
 	// ReadyTimeout bounds each shard's first announce (default 30s).
 	ReadyTimeout time.Duration
+	// Epoch seeds the initial shard map's epoch (a fleet resumed after a
+	// resize starts where it left off; normally 0). Each live Resize
+	// bumps it by one.
+	Epoch int64
+	// Tenants, when set, applies per-tenant token-bucket quotas at the
+	// router and groups the drain accounting by tenant.
+	Tenants *TenantConfig
+	// RebalanceTimeout bounds each retried shard exchange during a live
+	// Resize (default 30s — long enough to ride out a SIGKILLed shard's
+	// supervised restart).
+	RebalanceTimeout time.Duration
+	// OnAcked, when set, observes the cumulative acknowledged-submission
+	// count after each ack (the -resize-after trigger hangs off this).
+	// Called from router goroutines without locks held.
+	OnAcked func(total int64)
+	// OnPhase, when set, observes each rebalance phase announcement
+	// (fleet.PhaseBeforeQuiesce and friends) — the chaos harness's
+	// mid-rebalance kill trigger. Called from the resizing goroutine.
+	OnPhase func(phase string)
 	// OnShard, when set, observes every shard (re)announce: index, listen
 	// address, pid. Called from the supervisor goroutine.
 	OnShard func(i int, addr string, pid int)
@@ -75,6 +95,10 @@ type Merged struct {
 	MissedRecords int
 	MissedReports int
 	MissedCFs     int
+	// Tenants is the per-tenant drain accounting: acknowledged payloads
+	// and quota-limited submissions grouped by budget owner, sorted by
+	// tenant name.
+	Tenants []wire.TenantAccount
 	// Diagnosis is the analysis of Bundle; when shards are missing it is
 	// computed degraded, with Coverage and Confidence discounted by the
 	// missed counts.
@@ -86,12 +110,14 @@ func (m *Merged) Degraded() bool { return len(m.Missing) > 0 }
 
 // Fleet is a running sharded analyzer: router + supervised shard
 // processes. The contract it exists to keep: SIGKILL any single shard
-// mid-ingest and, once its supervisor restarts it, the drained merged
-// diagnosis is byte-identical to an unbroken run's.
+// mid-ingest — or mid-rebalance — and, once its supervisor restarts it,
+// the drained merged diagnosis is byte-identical to an unbroken run's.
 type Fleet struct {
 	cfg    Config
 	router *Router
-	procs  []*Proc
+
+	mu    sync.Mutex // guards procs (a live Resize grows/shrinks it)
+	procs []*Proc
 }
 
 // Start launches the fleet: router first (so shard announces have
@@ -113,18 +139,34 @@ func Start(cfg Config) (*Fleet, error) {
 	if cfg.Log == nil {
 		cfg.Log = obs.NopLogger()
 	}
-	m := wire.ShardMap{Shards: cfg.Shards, Replicas: cfg.Replicas}
+	m := wire.ShardMap{Shards: cfg.Shards, Replicas: cfg.Replicas, Epoch: cfg.Epoch}
+	f := &Fleet{cfg: cfg}
+	handoffDir := ""
+	if cfg.Dir != "" {
+		handoffDir = filepath.Join(cfg.Dir, "handoffs")
+	}
 	router, err := StartRouter(cfg.Listen, RouterConfig{
-		Map:     m,
+		Map:              m,
+		Tenants:          cfg.Tenants,
+		RebalanceTimeout: cfg.RebalanceTimeout,
+		HandoffDir:       handoffDir,
+		OnAcked:          cfg.OnAcked,
+		Rebalance: &RebalanceHooks{
+			StartShard:   f.hookStartShard,
+			PrepareShard: f.hookPrepareShard,
+			StopShard:    f.hookStopShard,
+			OnPhase:      cfg.OnPhase,
+		},
 		Log:     cfg.Log,
 		Metrics: cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
-	f := &Fleet{cfg: cfg, router: router, procs: make([]*Proc, cfg.Shards)}
+	f.router = router
+	f.procs = make([]*Proc, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
-		p, err := f.startShard(i)
+		p, err := f.startShard(i, m)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -140,27 +182,42 @@ func Start(cfg Config) (*Fleet, error) {
 	return f, nil
 }
 
-func (f *Fleet) startShard(i int) (*Proc, error) {
+// shardArgs builds shard i's command line for map m. The epoch flag is
+// only emitted once an epoch exists, so pre-rebalance fleets run the
+// same command lines they always have.
+func shardArgs(cfg *Config, i int, m wire.ShardMap) ([]string, error) {
 	args := []string{
 		"-listen", "127.0.0.1:0",
 		"-shard-index", strconv.Itoa(i),
-		"-shard-count", strconv.Itoa(f.cfg.Shards),
+		"-shard-count", strconv.Itoa(m.Shards),
 	}
-	if f.cfg.Replicas > 0 {
-		args = append(args, "-shard-replicas", strconv.Itoa(f.cfg.Replicas))
+	if m.Replicas > 0 {
+		args = append(args, "-shard-replicas", strconv.Itoa(m.Replicas))
 	}
-	if f.cfg.Dir != "" {
-		dir := filepath.Join(f.cfg.Dir, fmt.Sprintf("shard-%d", i))
+	if m.Epoch > 0 {
+		args = append(args, "-shard-epoch", strconv.FormatInt(m.Epoch, 10))
+	}
+	if cfg.Dir != "" {
+		dir := filepath.Join(cfg.Dir, fmt.Sprintf("shard-%d", i))
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("fleet: shard %d wal dir: %w", i, err)
 		}
 		args = append(args, "-wal-dir", dir)
-		if f.cfg.Fsync != "" {
-			args = append(args, "-fsync", f.cfg.Fsync)
+		if cfg.Fsync != "" {
+			args = append(args, "-fsync", cfg.Fsync)
 		}
-		if f.cfg.SnapshotEvery > 0 {
-			args = append(args, "-snapshot-every", strconv.Itoa(f.cfg.SnapshotEvery))
+		if cfg.SnapshotEvery > 0 {
+			args = append(args, "-snapshot-every", strconv.Itoa(cfg.SnapshotEvery))
 		}
+	}
+	return args, nil
+}
+
+// startShard launches one supervised shard child under map m.
+func (f *Fleet) startShard(i int, m wire.ShardMap) (*Proc, error) {
+	args, err := shardArgs(&f.cfg, i, m)
+	if err != nil {
+		return nil, err
 	}
 	idx := i
 	log := f.cfg.Log
@@ -193,12 +250,33 @@ func (f *Fleet) Addr() string { return f.router.Addr() }
 // Router exposes the ingest tier (tests and the obs registry peek at it).
 func (f *Fleet) Router() *Router { return f.router }
 
-// Shards returns the fleet width.
-func (f *Fleet) Shards() int { return len(f.procs) }
+// Shards returns the current fleet width (a live Resize changes it).
+func (f *Fleet) Shards() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.procs)
+}
+
+// proc returns shard i's supervisor (nil when i is out of range).
+func (f *Fleet) proc(i int) *Proc {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if i < 0 || i >= len(f.procs) {
+		return nil
+	}
+	return f.procs[i]
+}
+
+// procSnapshot copies the supervisor list.
+func (f *Fleet) procSnapshot() []*Proc {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Proc(nil), f.procs...)
+}
 
 // Ready reports whether every shard has announced and is being supervised.
 func (f *Fleet) Ready() error {
-	for i, p := range f.procs {
+	for i, p := range f.procSnapshot() {
 		if err := p.Ready(); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -208,28 +286,91 @@ func (f *Fleet) Ready() error {
 
 // Pid returns shard i's current child pid (-1 when not running).
 func (f *Fleet) Pid(i int) int {
-	if i < 0 || i >= len(f.procs) {
+	p := f.proc(i)
+	if p == nil {
 		return -1
 	}
-	return f.procs[i].Pid()
+	return p.Pid()
 }
 
 // Restarts returns how many times shard i has been restarted.
 func (f *Fleet) Restarts(i int) int {
-	if i < 0 || i >= len(f.procs) {
+	p := f.proc(i)
+	if p == nil {
 		return 0
 	}
-	return f.procs[i].Restarts()
+	return p.Restarts()
 }
 
 // KillShard SIGKILLs shard i's child; the supervisor restarts it
 // immediately and the router learns the new address from its announce.
 func (f *Fleet) KillShard(i int) error {
-	if i < 0 || i >= len(f.procs) {
+	p := f.proc(i)
+	if p == nil {
 		return fmt.Errorf("fleet: no shard %d", i)
 	}
-	f.procs[i].Kill()
+	p.Kill()
 	return nil
+}
+
+// Resize rebalances the live fleet to the given shard count: new shards
+// spawn (grow) or donors retire (shrink), moved clients' state rides the
+// handoff protocol to its new owners, and clients never see more than
+// retryable NACKs. See Router.Resize for the state machine.
+func (f *Fleet) Resize(shards int) (*ResizeReport, error) {
+	return f.router.Resize(shards, f.cfg.Replicas)
+}
+
+// hookStartShard launches a grow target under the next map and waits for
+// its announce so the router can route to it immediately.
+func (f *Fleet) hookStartShard(i int, m wire.ShardMap) (string, error) {
+	p, err := f.startShard(i, m)
+	if err != nil {
+		return "", err
+	}
+	if err := p.WaitReady(f.cfg.ReadyTimeout); err != nil {
+		p.Terminate(syscall.SIGKILL)
+		p.Wait()
+		return "", fmt.Errorf("fleet: shard %d never became ready: %w", i, err)
+	}
+	f.mu.Lock()
+	for len(f.procs) <= i {
+		f.procs = append(f.procs, nil)
+	}
+	f.procs[i] = p
+	f.mu.Unlock()
+	return p.Addr(), nil
+}
+
+// hookPrepareShard rewrites a survivor's restart args to the next map
+// before the remap verb is sent: a crash after the remap restarts the
+// shard under the map it acknowledged.
+func (f *Fleet) hookPrepareShard(i int, m wire.ShardMap) error {
+	p := f.proc(i)
+	if p == nil {
+		return fmt.Errorf("fleet: no shard %d", i)
+	}
+	p.SetFlags(
+		"-shard-count", strconv.Itoa(m.Shards),
+		"-shard-replicas", strconv.Itoa(m.Replicas),
+		"-shard-epoch", strconv.FormatInt(m.Epoch, 10),
+	)
+	return nil
+}
+
+// hookStopShard retires a shrink donor after the flip.
+func (f *Fleet) hookStopShard(i int) {
+	f.mu.Lock()
+	var p *Proc
+	if i >= 0 && i < len(f.procs) {
+		p = f.procs[i]
+		f.procs = f.procs[:i] // donors retire from the tail, highest first
+	}
+	f.mu.Unlock()
+	if p != nil {
+		p.Terminate(syscall.SIGTERM)
+		p.Wait()
+	}
 }
 
 // Drain finishes the fleet run: stop accepting clients, gather every
@@ -239,17 +380,18 @@ func (f *Fleet) KillShard(i int) error {
 // for that shard become the missed-input counts that discount Coverage
 // and Confidence.
 func (f *Fleet) Drain(scope *obs.Scope) (*Merged, error) {
-	if f.cfg.HoldShard >= 0 && f.cfg.HoldShard < len(f.procs) {
+	if p := f.proc(f.cfg.HoldShard); f.cfg.HoldShard >= 0 && p != nil {
 		// Hold the shard down before gathering: the degraded-drain drill.
-		f.procs[f.cfg.HoldShard].Hold()
+		p.Hold()
 	}
 	f.router.Stop() // no new ingest; shard links stay up for the dumps
 
+	shards := f.router.Shards() // post-resize width, not the starting one
 	tallies := f.router.Tallies()
-	merged := &Merged{}
-	states := make([]*wire.ShardState, 0, len(f.procs))
-	for i := range f.procs {
-		state, err := f.router.DumpShard(i)
+	merged := &Merged{Tenants: f.router.TenantAccounts()}
+	states := make([]*wire.ShardState, 0, shards)
+	for i := 0; i < shards; i++ {
+		state, err := f.dumpShardPatiently(i)
 		if err != nil {
 			f.cfg.Log.Warn("shard dump unavailable; degrading", "shard", i, "err", err)
 			merged.Missing = append(merged.Missing, i)
@@ -278,18 +420,46 @@ func (f *Fleet) Drain(scope *obs.Scope) (*Merged, error) {
 	return merged, nil
 }
 
+// dumpShardPatiently gathers one shard's dump, riding out a supervised
+// restart: a SIGKILL in the last moments before the drain (say, a chaos
+// kill at a rebalance's after-flip cut point) leaves the shard down for
+// the few milliseconds its supervisor needs to relaunch it, and a single
+// failed dial must not cost the merge that shard's whole slice. The
+// deliberately held shard gets no such grace — its absence is the
+// degraded-drain drill's entire point.
+func (f *Fleet) dumpShardPatiently(i int) (*wire.ShardState, error) {
+	state, err := f.router.DumpShard(i)
+	if err == nil || i == f.cfg.HoldShard {
+		return state, err
+	}
+	//lint:ignore nosystime bounding a real subprocess restart, not simulated time
+	deadline := time.Now().Add(f.cfg.ReadyTimeout)
+	//lint:ignore nosystime see above
+	for time.Now().Before(deadline) {
+		//lint:ignore nosystime pacing a poll for a real subprocess restart
+		time.Sleep(20 * time.Millisecond)
+		if state, err = f.router.DumpShard(i); err == nil {
+			return state, nil
+		}
+	}
+	return nil, err
+}
+
 // Close terminates every shard child and the router. Safe to call more
 // than once and after Drain.
 func (f *Fleet) Close() {
-	for _, p := range f.procs {
+	procs := f.procSnapshot()
+	for _, p := range procs {
 		if p != nil {
 			p.Terminate(syscall.SIGTERM)
 		}
 	}
-	for _, p := range f.procs {
+	for _, p := range procs {
 		if p != nil {
 			p.Wait()
 		}
 	}
-	f.router.Close()
+	if f.router != nil {
+		f.router.Close()
+	}
 }

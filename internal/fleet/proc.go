@@ -166,6 +166,31 @@ func (p *Proc) Restarts() int {
 	return p.restarts
 }
 
+// SetFlags rewrites (or appends) flag/value pairs in the child's restart
+// arguments. The running child is untouched; the next restart — crash or
+// kill — launches with the new command line. This is how a rebalance
+// makes a shard's map cutover crash-durable before the remap verb is
+// sent.
+func (p *Proc) SetFlags(pairs ...string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	args := append([]string(nil), p.cfg.Args...)
+	for k := 0; k+1 < len(pairs); k += 2 {
+		flag, val := pairs[k], pairs[k+1]
+		found := false
+		for i := 0; i < len(args)-1; i++ {
+			if args[i] == flag {
+				args[i+1] = val
+				found = true
+			}
+		}
+		if !found {
+			args = append(args, flag, val)
+		}
+	}
+	p.cfg.Args = args
+}
+
 // Ready returns nil once the current child incarnation has announced; a
 // child mid-restart (or one that never announces) reports an error. With
 // no AnnouncePrefix a running child is always ready.

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vedrfolnir/internal/analyzerd"
@@ -18,7 +19,8 @@ import (
 // RouterConfig tunes the fleet's ingest tier.
 type RouterConfig struct {
 	// Map is the fleet-wide consistent-hash shard map; it must match the
-	// ShardConfig of every shard daemon. Required.
+	// ShardConfig of every shard daemon. Required. A live Resize replaces
+	// it (with a bumped Epoch) without restarting the router.
 	Map wire.ShardMap
 	// Addrs are the shard listen addresses by index; entries may start
 	// empty (a not-yet-announced shard routes as unavailable) and are
@@ -29,11 +31,32 @@ type RouterConfig struct {
 	// one forwarded round trip (default 10s).
 	DialTimeout  time.Duration
 	ReplyTimeout time.Duration
+	// RebalanceTimeout bounds each retried shard exchange (dump, adopt,
+	// remap) during a live Resize — long enough to ride out a SIGKILLed
+	// shard's supervised restart (default 30s).
+	RebalanceTimeout time.Duration
 	// MaxLineBytes caps one client protocol line (default 16 MiB).
 	MaxLineBytes int
+	// Tenants, when set, applies per-tenant token-bucket quotas to ingest
+	// (and groups the drain accounting by tenant).
+	Tenants *TenantConfig
+	// Rebalance supplies the process-level hooks a live Resize needs
+	// (start/prepare/stop shard daemons). Nil disables Resize.
+	Rebalance *RebalanceHooks
+	// HandoffDir, when set, persists every handoff unit a Resize builds
+	// as a deterministic JSON file (wire.Handoff.Filename) before it is
+	// delivered — the auditable record of what moved where.
+	HandoffDir string
+	// OnAcked, when set, observes the cumulative count of acknowledged
+	// submissions after each ack is folded in. Called without router
+	// locks held; keep it fast or hand off to a goroutine.
+	OnAcked func(total int64)
+	// Now overrides the wall clock for the tenant buckets and rebalance
+	// deadlines (tests); nil uses the system clock.
+	Now func() time.Time
 	// Log receives routing warnings; nil discards. Metrics, when set,
 	// publishes the router counters (including a per-shard CounterSet of
-	// forwarded messages).
+	// forwarded messages and lazy per-tenant quota gauges).
 	Log     *slog.Logger
 	Metrics *obs.Registry
 }
@@ -44,18 +67,32 @@ type RouterStats struct {
 	// duplicates of the same seq).
 	Forwarded int64
 	// Rejected counts lines the router refused outright: malformed,
-	// unnamed, unsequenced, or dump verbs.
+	// unnamed, unsequenced, or misdirected verbs.
 	Rejected int64
 	// ShardDown counts retryable NACKs issued because the owning shard
 	// could not be reached; the reliable client backs off and resubmits,
 	// so these are delays, not losses.
 	ShardDown int64
+	// TenantLimited counts retryable NACKs issued by the per-tenant
+	// quota gate.
+	TenantLimited int64
+	// Quiesced counts retryable NACKs issued to moved clients while a
+	// rebalance had them fenced.
+	Quiesced int64
+	// Rerouted counts messages re-forwarded once after a shard answered
+	// with a moved NACK (the shard's map was ahead of the router's).
+	Rerouted int64
+	// Resizes counts completed live rebalances.
+	Resizes int64
 }
 
 // ShardTally is the router's account of what one shard acknowledged, by
 // payload type, with resubmitted duplicates counted once. When a shard is
 // unreachable at drain time, its tally is exactly what the merged
-// diagnosis is missing — the degraded-coverage input.
+// diagnosis is missing — the degraded-coverage input. After a rebalance
+// the tallies follow the moved clients: acked work is attributed to the
+// client's current owner, because that is the shard whose dump now
+// carries it.
 type ShardTally struct {
 	Records int
 	Reports int
@@ -83,22 +120,42 @@ type seqType struct {
 
 // clientTally deduplicates ack accounting per client: pending holds
 // forwarded seqs (ascending) awaiting their cumulative ack, counted is
-// the highwater already folded into the shard tallies.
+// the highwater already folded into tally.
 type clientTally struct {
 	counted int64
 	pending []seqType
+	tally   ShardTally
 }
 
 // Router is the fleet's thin ingest tier: it speaks the same seq/ack wire
 // protocol as a shard daemon, consistent-hashes each named client onto
 // its owning shard, relays the shard's replies verbatim, and answers with
 // a retryable NACK when the shard is down so the reliable client's
-// resubmission machinery carries submissions across shard failover.
+// resubmission machinery carries submissions across shard failover. A
+// live Resize swaps the shard map underneath it: moved clients are
+// fenced with retryable NACKs while their state is handed off, then
+// re-admitted under the new map.
 type Router struct {
-	cfg   RouterConfig
-	ring  *wire.HashRing
-	ln    net.Listener
-	links []*shardLink
+	cfg RouterConfig
+	ln  net.Listener
+
+	// rmu guards the routable topology: the installed map/ring, the
+	// shard links, and the rebalance fence. Lock order: rmu before tmu
+	// or qmu; never the reverse.
+	rmu       sync.RWMutex
+	cur       wire.ShardMap
+	ring      *wire.HashRing
+	links     []*shardLink
+	quiesce   func(client string) bool // non-nil mid-rebalance
+	forwarded []*obs.Counter           // per-shard, when Metrics is set
+
+	// inflight counts routed submissions between passing the fence and
+	// completing their shard round trip; Resize waits for it to drain
+	// after installing the fence, so a donor dump cannot miss a message
+	// that was already past the gate.
+	inflight atomic.Int64
+
+	resizeMu sync.Mutex // serializes live resizes
 
 	mu      sync.Mutex
 	conns   map[net.Conn]bool
@@ -107,10 +164,11 @@ type Router struct {
 
 	tmu     sync.Mutex
 	tallies map[string]*clientTally
-	acked   []ShardTally
 	stats   RouterStats
+	acked   int64 // cumulative acked submissions (OnAcked feed)
 
-	forwarded []*obs.Counter // per-shard, when Metrics is set
+	qmu     sync.Mutex
+	tenants map[string]*tenantBucket
 }
 
 // StartRouter binds the router and begins accepting clients.
@@ -128,8 +186,19 @@ func StartRouter(addr string, cfg RouterConfig) (*Router, error) {
 	if cfg.ReplyTimeout <= 0 {
 		cfg.ReplyTimeout = 10 * time.Second
 	}
+	if cfg.RebalanceTimeout <= 0 {
+		cfg.RebalanceTimeout = 30 * time.Second
+	}
 	if cfg.MaxLineBytes <= 0 {
 		cfg.MaxLineBytes = 16 << 20
+	}
+	if cfg.Tenants != nil {
+		if cfg.Tenants.Rate <= 0 {
+			return nil, fmt.Errorf("fleet: tenant quota rate %v, want > 0", cfg.Tenants.Rate)
+		}
+		tc := *cfg.Tenants // defaults apply to a private copy
+		tc.defaults()
+		cfg.Tenants = &tc
 	}
 	if cfg.Log == nil {
 		cfg.Log = obs.NopLogger()
@@ -140,12 +209,13 @@ func StartRouter(addr string, cfg RouterConfig) (*Router, error) {
 	}
 	r := &Router{
 		cfg:     cfg,
+		cur:     cfg.Map,
 		ring:    ring,
 		ln:      ln,
 		links:   make([]*shardLink, cfg.Map.Shards),
 		conns:   map[net.Conn]bool{},
 		tallies: map[string]*clientTally{},
-		acked:   make([]ShardTally, cfg.Map.Shards),
+		tenants: map[string]*tenantBucket{},
 	}
 	for i := range r.links {
 		l := &shardLink{}
@@ -160,6 +230,15 @@ func StartRouter(addr string, cfg RouterConfig) (*Router, error) {
 	return r, nil
 }
 
+// now reads the router's clock (injectable for tests).
+func (r *Router) now() time.Time {
+	if r.cfg.Now != nil {
+		return r.cfg.Now()
+	}
+	//lint:ignore nosystime pacing real tenant buckets and real TCP rebalance deadlines
+	return time.Now()
+}
+
 func (r *Router) publishStats() {
 	reg := r.cfg.Metrics
 	if reg == nil {
@@ -171,25 +250,58 @@ func (r *Router) publishStats() {
 		func() int64 { return r.Stats().Rejected })
 	reg.GaugeFunc("vedr_router_shard_down_total", "retryable NACKs for unreachable shards",
 		func() int64 { return r.Stats().ShardDown })
+	reg.GaugeFunc("vedr_router_tenant_limited_total", "retryable NACKs from the per-tenant quota gate",
+		func() int64 { return r.Stats().TenantLimited })
+	reg.GaugeFunc("vedr_router_quiesced_total", "retryable NACKs to clients fenced by a rebalance",
+		func() int64 { return r.Stats().Quiesced })
+	reg.GaugeFunc("vedr_router_resizes_total", "completed live rebalances",
+		func() int64 { return r.Stats().Resizes })
 	r.forwarded = reg.CounterSet("vedr_router_shard_forwarded", "messages relayed to this shard", r.cfg.Map.Shards)
 }
 
 // Addr returns the router's listen address.
 func (r *Router) Addr() string { return r.ln.Addr().String() }
 
-// Shards returns the shard-map size.
-func (r *Router) Shards() int { return r.cfg.Map.Shards }
+// Shards returns the current shard-map size.
+func (r *Router) Shards() int {
+	r.rmu.RLock()
+	defer r.rmu.RUnlock()
+	return r.cur.Shards
+}
 
-// Owner returns the shard index owning a client name.
-func (r *Router) Owner(client string) int { return r.ring.Owner(client) }
+// Map returns the currently installed shard map.
+func (r *Router) Map() wire.ShardMap {
+	r.rmu.RLock()
+	defer r.rmu.RUnlock()
+	return r.cur
+}
+
+// Owner returns the shard index owning a client name under the current
+// map.
+func (r *Router) Owner(client string) int {
+	r.rmu.RLock()
+	defer r.rmu.RUnlock()
+	return r.ring.Owner(client)
+}
+
+// link returns shard i's serialized connection, or nil when i is outside
+// the current topology.
+func (r *Router) link(i int) *shardLink {
+	r.rmu.RLock()
+	defer r.rmu.RUnlock()
+	if i < 0 || i >= len(r.links) {
+		return nil
+	}
+	return r.links[i]
+}
 
 // SetShardAddr re-points shard i (a supervisor learned a restarted
 // shard's address). A changed address drops the cached connection.
 func (r *Router) SetShardAddr(i int, addr string) {
-	if i < 0 || i >= len(r.links) {
+	l := r.link(i)
+	if l == nil {
 		return
 	}
-	l := r.links[i]
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.addr == addr {
@@ -209,16 +321,30 @@ func (r *Router) Stats() RouterStats {
 	return r.stats
 }
 
-// Tallies snapshots the per-shard acked accounting.
+// Tallies snapshots the per-shard acked accounting under the current
+// map: each client's acknowledged payloads are attributed to the shard
+// that owns the client now, which after a rebalance is the shard whose
+// dump carries them.
 func (r *Router) Tallies() []ShardTally {
+	r.rmu.RLock()
+	ring, n := r.ring, r.cur.Shards
+	r.rmu.RUnlock()
+	out := make([]ShardTally, n)
 	r.tmu.Lock()
 	defer r.tmu.Unlock()
-	return append([]ShardTally(nil), r.acked...)
+	for client, ct := range r.tallies {
+		s := ring.Owner(client)
+		out[s].Records += ct.tally.Records
+		out[s].Reports += ct.tally.Reports
+		out[s].CFs += ct.tally.CFs
+	}
+	return out
 }
 
 // Stop closes the listener and every client connection, and waits for the
-// handlers to finish. Shard links stay usable (DumpShard still works);
-// Close tears those down too.
+// handlers to finish (an admin-driven resize runs on a handler, so Stop
+// also waits out any rebalance in flight). Shard links stay usable
+// (DumpShard still works); Close tears those down too.
 func (r *Router) Stop() {
 	r.mu.Lock()
 	if r.stopped {
@@ -238,7 +364,10 @@ func (r *Router) Stop() {
 // Close stops the router and drops the shard connections.
 func (r *Router) Close() {
 	r.Stop()
-	for _, l := range r.links {
+	r.rmu.RLock()
+	links := append([]*shardLink(nil), r.links...)
+	r.rmu.RUnlock()
+	for _, l := range links {
 		l.mu.Lock()
 		if l.conn != nil {
 			_ = l.conn.Close() // shutting down; the peer sees EOF either way
@@ -304,11 +433,21 @@ func (r *Router) handle(conn net.Conn) {
 			r.replyf(conn, `{"error":%q}`+"\n", err.Error())
 			continue
 		}
-		if msg.Type == analyzerd.TypeDump {
+		switch msg.Type {
+		case analyzerd.TypeDump:
 			// The drain gathers per-shard dumps itself; a merged dump
 			// through the router would hide which shard is unreachable.
 			r.count(func(s *RouterStats) { s.Rejected++ })
 			r.replyf(conn, `{"error":"dump must target a shard, not the router"}`+"\n")
+			continue
+		case analyzerd.TypeRemap, analyzerd.TypeAdopt:
+			// The router originates these during its own Resize; accepting
+			// them from a client would let anyone rewrite the topology.
+			r.count(func(s *RouterStats) { s.Rejected++ })
+			r.replyf(conn, `{"error":"rebalance verbs are router-internal"}`+"\n")
+			continue
+		case analyzerd.TypeResize:
+			r.handleResize(conn, msg)
 			continue
 		}
 		if msg.Client == "" || msg.Seq == 0 {
@@ -319,25 +458,75 @@ func (r *Router) handle(conn net.Conn) {
 			r.replyf(conn, `{"error":"fleet ingest requires a named client and a sequence number"}`+"\n")
 			continue
 		}
-		shard := r.ring.Owner(msg.Client)
-		r.notePending(msg.Client, msg.Seq, msg.Type)
-		rep, err := r.roundTrip(shard, line)
-		if err != nil {
-			r.count(func(s *RouterStats) { s.ShardDown++ })
-			r.cfg.Log.Warn("shard unreachable", "shard", shard, "client", msg.Client, "err", err)
+		if tenant, ok := r.admitTenant(msg.Client); !ok {
+			r.count(func(s *RouterStats) { s.TenantLimited++ })
 			r.replyf(conn, `{"nak":%d,"error":%q,"retry":true}`+"\n",
-				msg.Seq, fmt.Sprintf("shard %d unavailable", shard))
+				msg.Seq, fmt.Sprintf("tenant %q over quota", tenant))
 			continue
 		}
-		r.count(func(s *RouterStats) { s.Forwarded++ })
-		if r.forwarded != nil {
-			r.forwarded[shard].Inc()
+		// Pass the rebalance fence and pin the route under one rmu hold:
+		// the inflight increment must be visible before the read lock is
+		// released, so a Resize that installs the fence next observes
+		// this message and waits for its round trip.
+		r.rmu.RLock()
+		if q := r.quiesce; q != nil && q(msg.Client) {
+			r.rmu.RUnlock()
+			r.count(func(s *RouterStats) { s.Quiesced++ })
+			r.replyf(conn, `{"nak":%d,"error":"rebalance in progress","retry":true}`+"\n", msg.Seq)
+			continue
 		}
-		r.noteReply(shard, msg.Client, rep)
-		if _, err := conn.Write(rep); err != nil {
-			return
+		shard := r.ring.Owner(msg.Client)
+		r.inflight.Add(1)
+		r.rmu.RUnlock()
+		r.routeOne(conn, msg, line, shard)
+		r.inflight.Add(-1)
+	}
+}
+
+// routeOne forwards one admitted submission and relays the outcome.
+func (r *Router) routeOne(conn net.Conn, msg *analyzerd.Message, line []byte, shard int) {
+	r.notePending(msg.Client, msg.Seq, msg.Type)
+	rep, err := r.roundTrip(shard, line)
+	if err != nil {
+		r.count(func(s *RouterStats) { s.ShardDown++ })
+		r.cfg.Log.Warn("shard unreachable", "shard", shard, "client", msg.Client, "err", err)
+		r.replyf(conn, `{"nak":%d,"error":%q,"retry":true}`+"\n",
+			msg.Seq, fmt.Sprintf("shard %d unavailable", shard))
+		return
+	}
+	// A shard whose map ran ahead of the router's answers moved; follow
+	// the announced owner once rather than bouncing the NACK to the
+	// client (stragglers mid-rebalance hit this window).
+	if owner, moved := movedOwner(rep); moved && owner != shard {
+		if l := r.link(owner); l != nil {
+			r.count(func(s *RouterStats) { s.Rerouted++ })
+			if rep2, err2 := r.roundTrip(owner, line); err2 == nil {
+				rep, shard = rep2, owner
+			}
 		}
 	}
+	r.count(func(s *RouterStats) { s.Forwarded++ })
+	r.rmu.RLock()
+	if r.forwarded != nil && shard < len(r.forwarded) {
+		r.forwarded[shard].Inc()
+	}
+	r.rmu.RUnlock()
+	r.noteReply(msg.Client, rep)
+	if _, err := conn.Write(rep); err != nil {
+		r.cfg.Log.Debug("router relay failed", "err", err)
+	}
+}
+
+// movedOwner parses a shard reply for a moved NACK's announced owner.
+func movedOwner(rep []byte) (int, bool) {
+	var parsed struct {
+		Moved bool `json:"moved"`
+		Owner int  `json:"owner"`
+	}
+	if err := json.Unmarshal(rep, &parsed); err != nil || !parsed.Moved {
+		return 0, false
+	}
+	return parsed.Owner, true
 }
 
 // roundTrip forwards one line to a shard and reads its single-line reply.
@@ -345,7 +534,10 @@ func (r *Router) handle(conn net.Conn) {
 // one redial: the write may have landed in a void, but resubmitting the
 // same seq is safe — the shard's dedup highwater suppresses duplicates.
 func (r *Router) roundTrip(shard int, line []byte) ([]byte, error) {
-	l := r.links[shard]
+	l := r.link(shard)
+	if l == nil {
+		return nil, fmt.Errorf("no shard %d in the current map", shard)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var lastErr error
@@ -415,9 +607,9 @@ func (r *Router) notePending(client string, seq int64, typ string) {
 	ct.pending[i] = seqType{seq: seq, typ: typ}
 }
 
-// noteReply folds a shard's reply into the tallies: a cumulative ack
-// settles every pending seq at or below it.
-func (r *Router) noteReply(shard int, client string, rep []byte) {
+// noteReply folds a shard's reply into the client's tally: a cumulative
+// ack settles every pending seq at or below it.
+func (r *Router) noteReply(client string, rep []byte) {
 	var parsed struct {
 		Ack int64 `json:"ack"`
 	}
@@ -425,9 +617,9 @@ func (r *Router) noteReply(shard int, client string, rep []byte) {
 		return
 	}
 	r.tmu.Lock()
-	defer r.tmu.Unlock()
 	ct := r.tallies[client]
 	if ct == nil {
+		r.tmu.Unlock()
 		return
 	}
 	n := 0
@@ -437,11 +629,11 @@ func (r *Router) noteReply(shard int, client string, rep []byte) {
 		}
 		switch p.typ {
 		case analyzerd.TypeStep:
-			r.acked[shard].Records++
+			ct.tally.Records++
 		case analyzerd.TypeReport:
-			r.acked[shard].Reports++
+			ct.tally.Reports++
 		case analyzerd.TypeCF:
-			r.acked[shard].CFs++
+			ct.tally.CFs++
 		}
 		n++
 	}
@@ -449,36 +641,52 @@ func (r *Router) noteReply(shard int, client string, rep []byte) {
 	if parsed.Ack > ct.counted {
 		ct.counted = parsed.Ack
 	}
+	r.acked += int64(n)
+	total := r.acked
+	r.tmu.Unlock()
+	if n > 0 && r.cfg.OnAcked != nil {
+		r.cfg.OnAcked(total)
+	}
 }
 
 // DumpShard asks one shard for its full accepted-message state over the
 // serialized shard link. The state's shard index and map are checked
-// against the router's own configuration — a mismatched dump means the
-// fleet is misassembled, and merging it would corrupt the diagnosis.
+// against the router's currently installed map — a mismatched dump means
+// the fleet is misassembled, and merging it would corrupt the diagnosis.
 func (r *Router) DumpShard(i int) (*wire.ShardState, error) {
-	if i < 0 || i >= len(r.links) {
+	if r.link(i) == nil {
 		return nil, fmt.Errorf("fleet: no shard %d", i)
 	}
 	rep, err := r.roundTrip(i, []byte(`{"type":"dump"}`))
 	if err != nil {
 		return nil, err
 	}
+	state, err := decodeDump(i, rep)
+	if err != nil {
+		return nil, err
+	}
+	if cur := r.Map(); state.Shard != i || state.Map != cur {
+		return nil, fmt.Errorf("fleet: dump from shard %d/%+v where shard %d/%+v was expected",
+			state.Shard, state.Map, i, cur)
+	}
+	return state, nil
+}
+
+// decodeDump parses one shard's dump reply, surfacing a shard-side error
+// line as an error.
+func decodeDump(i int, rep []byte) (*wire.ShardState, error) {
 	var state wire.ShardState
 	if err := json.Unmarshal(rep, &state); err != nil {
 		return nil, fmt.Errorf("fleet: shard %d dump: %w", i, err)
 	}
-	var failure struct {
-		Error string `json:"error"`
-	}
 	if state.Format == 0 {
+		var failure struct {
+			Error string `json:"error"`
+		}
 		if json.Unmarshal(rep, &failure) == nil && failure.Error != "" {
 			return nil, fmt.Errorf("fleet: shard %d dump: %s", i, failure.Error)
 		}
 		return nil, fmt.Errorf("fleet: shard %d dump: unrecognized reply", i)
-	}
-	if state.Shard != i || state.Map != r.cfg.Map {
-		return nil, fmt.Errorf("fleet: dump from shard %d/%+v where shard %d/%+v was expected",
-			state.Shard, state.Map, i, r.cfg.Map)
 	}
 	return &state, nil
 }

@@ -1,0 +1,198 @@
+package fleet
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"vedrfolnir/internal/wire"
+)
+
+// TenantConfig turns on per-tenant ingest quotas at the router. A tenant
+// is the budget-owning principal behind a set of clients: by default the
+// client-id prefix before the first Separator ("tenant-a/host-3" belongs
+// to "tenant-a"), with explicit Overrides for clients whose names don't
+// follow the convention. Each tenant gets a token bucket of Rate tokens
+// per second with a Burst-deep reservoir; a submission that finds the
+// bucket empty is NACKed retryably, so a saturating tenant degrades to
+// backoff-paced throughput without ever occupying the shard links that
+// other tenants' traffic needs.
+type TenantConfig struct {
+	// Rate is the sustained messages-per-second budget per tenant
+	// (required, > 0).
+	Rate float64
+	// Burst is the bucket depth — how many messages a tenant may submit
+	// back-to-back after an idle period (default: max(1, ceil(Rate))).
+	Burst int
+	// Separator splits a client id into tenant and host parts (default
+	// "/"). A client id without the separator (or starting with it) is
+	// its own tenant.
+	Separator string
+	// Overrides maps exact client ids to tenant names, for clients whose
+	// ids don't carry their tenant as a prefix.
+	Overrides map[string]string
+}
+
+func (c *TenantConfig) defaults() {
+	if c.Separator == "" {
+		c.Separator = "/"
+	}
+	if c.Burst <= 0 {
+		c.Burst = int(c.Rate)
+		if float64(c.Burst) < c.Rate {
+			c.Burst++
+		}
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+}
+
+// TenantOf resolves a client id to its tenant name.
+func (c *TenantConfig) TenantOf(client string) string {
+	if t, ok := c.Overrides[client]; ok {
+		return t
+	}
+	if i := strings.Index(client, c.Separator); i > 0 {
+		return client[:i]
+	}
+	return client
+}
+
+// tenantBucket is one tenant's token bucket plus its drain-time
+// accounting. Guarded by the router's qmu.
+type tenantBucket struct {
+	tokens   float64
+	refilled time.Time // last refill instant
+	admitted int64     // submissions that passed the quota gate
+	limited  int64     // submissions NACKed over-quota
+}
+
+// take refills the bucket for the elapsed wall-clock time and spends one
+// token if available.
+func (b *tenantBucket) take(now time.Time, rate float64, burst int) bool {
+	if !b.refilled.IsZero() {
+		if dt := now.Sub(b.refilled).Seconds(); dt > 0 {
+			b.tokens += dt * rate
+		}
+	}
+	b.refilled = now
+	if b.tokens > float64(burst) {
+		b.tokens = float64(burst)
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// admitTenant applies the per-tenant quota to one named submission,
+// returning the tenant name and whether the message may proceed. With
+// quotas disabled every submission is admitted under its tenant name
+// (accounting still groups by tenant). First sight of a tenant registers
+// its gauges.
+func (r *Router) admitTenant(client string) (tenant string, ok bool) {
+	tc := r.cfg.Tenants
+	if tc == nil {
+		return "", true
+	}
+	tenant = tc.TenantOf(client)
+	now := r.now()
+	r.qmu.Lock()
+	b := r.tenants[tenant]
+	if b == nil {
+		b = &tenantBucket{tokens: float64(tc.Burst)}
+		r.tenants[tenant] = b
+		r.publishTenant(tenant, b)
+	}
+	ok = b.take(now, tc.Rate, tc.Burst)
+	if ok {
+		b.admitted++
+	} else {
+		b.limited++
+	}
+	r.qmu.Unlock()
+	return tenant, ok
+}
+
+// publishTenant registers the per-tenant gauges (caller holds qmu; the
+// closures re-lock on read).
+func (r *Router) publishTenant(tenant string, b *tenantBucket) {
+	reg := r.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	san := sanitizeMetric(tenant)
+	reg.GaugeFunc("vedr_router_tenant_"+san+"_admitted", "submissions admitted for tenant "+tenant,
+		func() int64 {
+			r.qmu.Lock()
+			defer r.qmu.Unlock()
+			return b.admitted
+		})
+	reg.GaugeFunc("vedr_router_tenant_"+san+"_limited", "submissions NACKed over-quota for tenant "+tenant,
+		func() int64 {
+			r.qmu.Lock()
+			defer r.qmu.Unlock()
+			return b.limited
+		})
+}
+
+// sanitizeMetric maps a tenant name onto the metric-name alphabet.
+func sanitizeMetric(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// TenantAccounts snapshots the per-tenant drain accounting: every tenant
+// the router has seen, with its distinct client count, the payloads those
+// clients had acknowledged, and how many submissions the quota gate
+// limited. Sorted by tenant name; without a TenantConfig the default
+// prefix convention still groups the accounting.
+func (r *Router) TenantAccounts() []wire.TenantAccount {
+	tc := r.cfg.Tenants
+	if tc == nil {
+		tc = &TenantConfig{}
+		tc.defaults()
+	}
+	byTenant := map[string]*wire.TenantAccount{}
+	get := func(name string) *wire.TenantAccount {
+		ta := byTenant[name]
+		if ta == nil {
+			ta = &wire.TenantAccount{Tenant: name}
+			byTenant[name] = ta
+		}
+		return ta
+	}
+	r.tmu.Lock()
+	for client, ct := range r.tallies {
+		ta := get(tc.TenantOf(client))
+		ta.Clients++
+		ta.Records += int64(ct.tally.Records)
+		ta.Reports += int64(ct.tally.Reports)
+		ta.CFs += int64(ct.tally.CFs)
+	}
+	r.tmu.Unlock()
+	r.qmu.Lock()
+	for tenant, b := range r.tenants {
+		get(tenant).Limited += b.limited
+	}
+	r.qmu.Unlock()
+	names := make([]string, 0, len(byTenant))
+	for name := range byTenant {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]wire.TenantAccount, 0, len(names))
+	for _, name := range names {
+		out = append(out, *byTenant[name])
+	}
+	return out
+}

@@ -77,6 +77,21 @@ func fleetStream(res scenario.Result) []fleetSubmission {
 	return subs
 }
 
+// shardAnnounces counts shard i's announce lines: one per incarnation,
+// so >= 2 proves a supervised restart happened.
+func (d *daemon) shardAnnounces(i int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	prefix := fmt.Sprintf("shard %d listening on ", i)
+	for _, l := range d.lines {
+		if strings.HasPrefix(l, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
 // shardPid scans the daemon's captured announce lines for shard i's most
 // recent incarnation and returns its pid (-1 when it never announced).
 func (d *daemon) shardPid(i int) int {
@@ -126,6 +141,22 @@ func (r *Runner) runFleet(sp *spec.Spec, cs scenario.Case, res scenario.Result) 
 	}
 	if fl.HoldShard != spec.Unset {
 		args = append(args, "-hold-shard", strconv.Itoa(fl.HoldShard))
+	}
+	if fl.ResizeTo > 0 {
+		args = append(args, "-resize-to", strconv.Itoa(fl.ResizeTo))
+		if fl.ResizeAfter > 0 {
+			args = append(args, "-resize-after", strconv.Itoa(fl.ResizeAfter))
+		}
+		if fl.RebalanceKillPhase != "" {
+			args = append(args, "-rebalance-kill",
+				fl.RebalanceKillPhase+":"+strconv.Itoa(fl.RebalanceKillShard))
+		}
+	}
+	if fl.TenantRate > 0 {
+		args = append(args, "-tenant-rate", strconv.FormatFloat(fl.TenantRate, 'f', -1, 64))
+		if fl.TenantBurst > 0 {
+			args = append(args, "-tenant-burst", strconv.Itoa(fl.TenantBurst))
+		}
 	}
 	d, ok, err := startDaemon(bin, args)
 	if err != nil || !ok {
@@ -235,6 +266,30 @@ func (r *Runner) runFleet(sp *spec.Spec, cs scenario.Case, res scenario.Result) 
 		checks = append(checks, checkBound("fleet.kill-recover",
 			fmt.Sprintf("shard %d SIGKILLed after %d acked messages and restarted", fl.KillShard, fl.KillAfter),
 			fmt.Sprintf("shard %d SIGKILLed after %d acked messages and restarted", fl.KillShard, fl.KillAfter), true))
+	}
+	if fl.ResizeTo > 0 {
+		// The cluster prints its resize report before draining; its
+		// absence means the rebalance never completed.
+		wantResized := fmt.Sprintf("resized to %d shards (epoch 1)", fl.ResizeTo)
+		gotResized := "(no resize line)"
+		for _, l := range lines {
+			if strings.HasPrefix(l, "resized to ") {
+				gotResized = l
+			}
+		}
+		checks = append(checks, check("fleet.resized", wantResized, gotResized))
+	}
+	if fl.RebalanceKillPhase != "" {
+		// The chaos kill must have fired and the supervisor brought the
+		// shard back: that shard announces at least twice.
+		field := "fleet.rebalance-kill"
+		want := fmt.Sprintf("shard %d SIGKILLed at %s and restarted", fl.RebalanceKillShard, fl.RebalanceKillPhase)
+		if n := d.shardAnnounces(fl.RebalanceKillShard); n >= 2 {
+			checks = append(checks, checkBound(field, want, want, true))
+		} else {
+			checks = append(checks, checkBound(field, want,
+				fmt.Sprintf("shard %d announced %d time(s)", fl.RebalanceKillShard, n), false))
+		}
 	}
 
 	// Local canonical merge of the mirrored sourced stream: what the fleet

@@ -101,6 +101,85 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzShardMapDecode: an arbitrary JSON shard map either fails ring
+// construction with an error or yields a ring whose ownership function
+// is total (every key lands in [0, Shards)), and the map's JSON round
+// trip is stable. The rebalance admin channel feeds remotely-supplied
+// maps straight into NewHashRing, so this is an input-validation
+// surface, not just a DTO.
+func FuzzShardMapDecode(f *testing.F) {
+	f.Add([]byte(`{"shards":3}`))
+	f.Add([]byte(`{"shards":4,"replicas":16,"epoch":7}`))
+	f.Add([]byte(`{"shards":-1}`))
+	f.Add([]byte(`{"shards":0,"replicas":-5}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m ShardMap
+		if err := json.Unmarshal(data, &m); err != nil {
+			return
+		}
+		a, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var m2 ShardMap
+		if err := json.Unmarshal(a, &m2); err != nil || m2 != m {
+			t.Fatalf("shard map round trip lost data: %+v vs %+v (%v)", m2, m, err)
+		}
+		ring, err := NewHashRing(m)
+		if err != nil {
+			return // invalid maps must be rejected, not built
+		}
+		// Cap the work: enormous replica counts are legal but slow to
+		// exercise per fuzz iteration.
+		if m.Shards > 1024 || m.Replicas > 1024 {
+			return
+		}
+		for _, key := range []string{"", "h00", string(data)} {
+			if o := ring.Owner(key); o < 0 || o >= m.Shards {
+				t.Fatalf("Owner(%q) = %d, outside [0, %d)", key, o, m.Shards)
+			}
+		}
+	})
+}
+
+// FuzzHandoffRoundTrip: an arbitrary JSON handoff survives an unmarshal
+// → normalize (canonical client/message order) → marshal cycle stably —
+// the handoff file is the durable artifact of a rebalance, so its
+// serialization must be a fixed point after one normalization pass.
+func FuzzHandoffRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"format":1,"map":{"shards":3,"epoch":2},"from":0,"to":2,"clients":[{"client":"h1","acked":4}],"messages":[{"client":"h1","seq":3,"type":"cf","cf":{"src":1,"dst":2}}]}`))
+	f.Add([]byte(`{"format":1,"map":{"shards":2},"from":1,"to":0}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Handoff
+		if err := json.Unmarshal(data, &h); err != nil {
+			return
+		}
+		normalize := func(h *Handoff) {
+			sortSlice(h.Clients, func(a, b HandoffClient) bool { return a.Client < b.Client })
+			sortSourced(h.Messages)
+		}
+		normalize(&h)
+		a, err := json.Marshal(&h)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var h2 Handoff
+		if err := json.Unmarshal(a, &h2); err != nil {
+			t.Fatalf("re-unmarshal of own output: %v", err)
+		}
+		normalize(&h2)
+		b, err := json.Marshal(&h2)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("handoff round trip not stable:\n%s\nvs\n%s", a, b)
+		}
+	})
+}
+
 // FuzzSweepRecordRoundTrip: journal records (including the chaos-grid
 // fields) survive resultFromWire-style JSON cycles stably.
 func FuzzSweepRecordRoundTrip(f *testing.F) {

@@ -22,6 +22,12 @@ type ShardMap struct {
 	// Replicas is the number of virtual nodes per shard on the hash
 	// ring; zero means DefaultShardReplicas.
 	Replicas int `json:"replicas,omitempty"`
+	// Epoch versions the map: a live rebalance installs its successor
+	// with Epoch+1, shards reject remaps whose epoch is behind their
+	// own, and dumps echo it so the aggregator can detect a shard that
+	// restarted on stale arguments. The ring itself depends only on
+	// Shards and Replicas.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // ringPoint is one virtual node on the consistent-hash ring.

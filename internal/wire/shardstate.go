@@ -45,6 +45,13 @@ type ShardState struct {
 	Map ShardMap `json:"map"`
 	// Messages holds every accepted message in local ingest order.
 	Messages []SourcedMessage `json:"messages,omitempty"`
+	// Acked carries each client's acknowledged-sequence highwater,
+	// sorted by client. A rebalance handoff needs the true highwater —
+	// not the max retained message seq — because a permanently rejected
+	// submission advances the window without leaving a message behind;
+	// adopting only message seqs could wedge the new owner's
+	// seq-contiguity check. Merging ignores this field.
+	Acked []ClientAck `json:"acked,omitempty"`
 }
 
 // MergeStats describes what MergeShardStates folded together.

@@ -1,0 +1,22 @@
+package wire
+
+// TenantAccount is one tenant's slice of a fleet drain: how many
+// clients it ran, what its accepted messages broke down to, and how
+// often the router's per-tenant quota turned it away. The router emits
+// these sorted by tenant so the drain-time accounting block is
+// deterministic for a deterministic stream.
+type TenantAccount struct {
+	Tenant  string `json:"tenant"`
+	Clients int    `json:"clients"`
+	Records int64  `json:"records"`
+	Reports int64  `json:"reports"`
+	CFs     int64  `json:"cfs"`
+	// Limited counts submissions NACKed by the tenant's token bucket
+	// (each retryable, so it bounds added latency rather than loss).
+	Limited int64 `json:"limited,omitempty"`
+}
+
+// SortTenantAccounts orders accounts by tenant name.
+func SortTenantAccounts(s []TenantAccount) {
+	sortSlice(s, func(a, b TenantAccount) bool { return a.Tenant < b.Tenant })
+}
